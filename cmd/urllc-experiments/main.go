@@ -1,0 +1,48 @@
+// Command urllc-experiments regenerates the paper's tables and figures.
+//
+//	urllc-experiments                # run everything
+//	urllc-experiments -run table1    # one experiment
+//	urllc-experiments -list          # list experiment ids
+//	urllc-experiments -seed 42       # change the run seed
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"urllcsim/internal/experiments"
+)
+
+func main() {
+	run := flag.String("run", "", "experiment id to run (default: all)")
+	list := flag.Bool("list", false, "list experiment ids and exit")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	flag.Parse()
+
+	if *list {
+		for _, e := range experiments.All {
+			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	selected := experiments.All
+	if *run != "" {
+		e, ok := experiments.ByID(*run)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "unknown experiment %q; try -list\n", *run)
+			os.Exit(2)
+		}
+		selected = []experiments.Experiment{e}
+	}
+	for _, e := range selected {
+		fmt.Printf("==== %s [%s] ====\n", e.Title, e.ID)
+		out, err := e.Run(*seed)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Println(out)
+	}
+}

@@ -1,0 +1,124 @@
+// Command urllcsim runs one configurable full-stack scenario and reports
+// the latency distribution, layer statistics and reliability.
+//
+//	urllcsim -pattern DDDU -slot 0.5ms -radio usb2 -packets 500 -dir both
+//	urllcsim -pattern DM -slot 0.25ms -grantfree -radio pcie -rt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"time"
+
+	"urllcsim"
+)
+
+func main() {
+	pattern := flag.String("pattern", "DDDU", "DDDU | DM | MU | DU | mini-slot | FDD")
+	slot := flag.String("slot", "0.5ms", "slot duration: 1ms | 0.5ms | 0.25ms | 125us")
+	grantFree := flag.Bool("grantfree", false, "use configured grants instead of SR/grant")
+	radioKind := flag.String("radio", "usb2", "usb2 | usb3 | pcie | none")
+	rt := flag.Bool("rt", false, "real-time kernel jitter profile")
+	packets := flag.Int("packets", 300, "packets per direction")
+	dir := flag.String("dir", "both", "ul | dl | both")
+	bytes := flag.Int("bytes", 32, "payload bytes")
+	ues := flag.Int("ues", 1, "UE count (processing load)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	snr := flag.Float64("snr", 25, "channel SNR (dB)")
+	deadline := flag.Duration("deadline", 500*time.Microsecond, "reliability deadline")
+	flag.Parse()
+
+	scales := map[string]urllcsim.SlotScale{
+		"1ms": urllcsim.Slot1ms, "0.5ms": urllcsim.Slot0p5ms,
+		"0.25ms": urllcsim.Slot0p25ms, "125us": urllcsim.Slot125us,
+	}
+	scale, ok := scales[*slot]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown slot %q\n", *slot)
+		os.Exit(2)
+	}
+	radios := map[string]urllcsim.RadioKind{
+		"usb2": urllcsim.RadioUSB2, "usb3": urllcsim.RadioUSB3,
+		"pcie": urllcsim.RadioPCIe, "none": urllcsim.RadioNone,
+	}
+	rk, ok := radios[*radioKind]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown radio %q\n", *radioKind)
+		os.Exit(2)
+	}
+
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern:   urllcsim.Pattern(*pattern),
+		SlotScale: scale,
+		GrantFree: *grantFree,
+		Radio:     rk,
+		RTKernel:  *rt,
+		SNRdB:     *snr,
+		UEs:       *ues,
+		Seed:      *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	period := 2 * time.Millisecond
+	for i := 0; i < *packets; i++ {
+		at := time.Duration(i) * period
+		if *dir == "ul" || *dir == "both" {
+			sc.SendUplink(at+137*time.Microsecond, *bytes)
+		}
+		if *dir == "dl" || *dir == "both" {
+			sc.SendDownlink(at+731*time.Microsecond, *bytes)
+		}
+	}
+	results := sc.Run(time.Duration(*packets+50) * period)
+
+	report := func(uplink bool, label string) {
+		var lats []time.Duration
+		lost := 0
+		for _, r := range results {
+			if r.Uplink != uplink {
+				continue
+			}
+			if !r.Delivered {
+				lost++
+				continue
+			}
+			lats = append(lats, r.Latency)
+		}
+		if len(lats) == 0 && lost == 0 {
+			return
+		}
+		sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+		var sum time.Duration
+		met := 0
+		for _, l := range lats {
+			sum += l
+			if l <= *deadline {
+				met++
+			}
+		}
+		fmt.Printf("%s: n=%d lost=%d", label, len(lats), lost)
+		if len(lats) > 0 {
+			fmt.Printf(" mean=%v p50=%v p99=%v within-%v=%.2f%%",
+				(sum / time.Duration(len(lats))).Round(time.Microsecond),
+				lats[len(lats)/2].Round(time.Microsecond),
+				lats[len(lats)*99/100].Round(time.Microsecond),
+				*deadline, 100*float64(met)/float64(len(lats)+lost))
+		}
+		fmt.Println()
+	}
+	fmt.Printf("scenario: %s slot=%s grantfree=%v radio=%s rt=%v ues=%d\n",
+		*pattern, *slot, *grantFree, *radioKind, *rt, *ues)
+	report(true, "UL")
+	report(false, "DL")
+	fmt.Printf("radio misses: %d, PHY losses: %d\n", sc.RadioMisses(), sc.PHYLosses())
+	for _, l := range []string{"SDAP", "PDCP", "RLC", "RLC-q", "MAC", "PHY"} {
+		if mean, std, n, err := sc.LayerStat(l); err == nil && n > 0 {
+			fmt.Printf("  %-6s mean %8.2fµs std %8.2fµs (n=%d)\n", l, mean, std, n)
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Professional live audio ([33] — the Nokia/Sennheiser use case): a
+// wireless microphone streams 250 µs audio frames downlink to in-ear
+// monitors. The paper notes the hardware-accelerated reference system
+// achieves ≈0.8 ms DL latency, "going higher in steps of 0.5 ms in case of
+// retransmission". This example streams frames over the DM configuration
+// and shows exactly that staircase: the latency distribution of frames that
+// needed 1, 2, 3… transmissions.
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+	"time"
+
+	"urllcsim"
+)
+
+func main() {
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern:      urllcsim.PatternDM,
+		SlotScale:    urllcsim.Slot0p25ms,
+		GrantFree:    true,
+		Radio:        urllcsim.RadioPCIe,
+		RTKernel:     true,
+		SNRdB:        11, // marginal link: retransmissions happen
+		HARQMaxTx:    4,
+		HARQFeedback: true, // each retx waits for the NACK round trip
+		Seed:         33,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const frames = 2000
+	const frameTime = 250 * time.Microsecond
+	for i := 0; i < frames; i++ {
+		sc.SendDownlink(time.Duration(i)*frameTime, 288) // 96 samples × 24 bit
+	}
+	results := sc.Run(time.Duration(frames)*frameTime + 200*time.Millisecond)
+
+	byAttempts := map[int][]time.Duration{}
+	lost := 0
+	for _, r := range results {
+		if !r.Delivered {
+			lost++
+			continue
+		}
+		byAttempts[r.Attempts] = append(byAttempts[r.Attempts], r.Latency)
+	}
+	fmt.Printf("live audio: %d frames @ %v, %d lost (%.3f%%), PHY losses %d\n\n",
+		frames, frameTime, lost, 100*float64(lost)/frames, sc.PHYLosses())
+	fmt.Printf("%-10s %8s %12s %12s\n", "attempts", "frames", "p50 latency", "p95 latency")
+	var keys []int
+	for k := range byAttempts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		ls := byAttempts[k]
+		sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+		fmt.Printf("%-10d %8d %12v %12v\n", k, len(ls),
+			ls[len(ls)/2].Round(10*time.Microsecond),
+			ls[len(ls)*95/100].Round(10*time.Microsecond))
+	}
+	fmt.Println("\neach retransmission adds ≈1ms: the NACK rides a UL opportunity before the")
+	fmt.Println("gNB can retransmit — the staircase the Nokia/Sennheiser system reports in")
+	fmt.Println("0.5ms steps on hardware with immediate feedback ([33], §8 of the paper)")
+}

@@ -1,0 +1,77 @@
+// Industrial automation (§1, [13], [16]): a controller polls a fleet of
+// sensors on a 2 ms cycle and must receive each reading within a deadline.
+// The example contrasts grant-based and grant-free uplink on the only
+// feasible minimal TDD configuration (DM at 0.25 ms slots) with a PCIe SDR,
+// and reports deadline reliability — the URLLC question asked end to end.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"urllcsim"
+)
+
+const (
+	cycleTime = 2 * time.Millisecond
+	cycles    = 500
+	deadline  = 1 * time.Millisecond // control-loop budget per reading
+)
+
+func run(grantFree bool) (within float64, mean time.Duration) {
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern:   urllcsim.PatternDM,
+		SlotScale: urllcsim.Slot0p25ms,
+		GrantFree: grantFree,
+		Radio:     urllcsim.RadioPCIe, // industrial gNB: PCIe front-haul
+		RTKernel:  true,               // §6: RT kernel for determinism
+		Seed:      7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < cycles; i++ {
+		// Sensor readings: 48-byte payloads, one per cycle, with sub-cycle
+		// phase drift as sensors free-run.
+		at := time.Duration(i)*cycleTime + time.Duration(i%17)*37*time.Microsecond
+		sc.SendUplink(at, 48)
+	}
+	results := sc.Run(time.Duration(cycles+50) * cycleTime)
+	met, n := 0, 0
+	var sum time.Duration
+	for _, r := range results {
+		if !r.Delivered {
+			continue
+		}
+		n++
+		sum += r.Latency
+		if r.Latency <= deadline {
+			met++
+		}
+	}
+	if n == 0 {
+		log.Fatal("nothing delivered")
+	}
+	return float64(met) / float64(cycles), sum / time.Duration(n)
+}
+
+func main() {
+	fmt.Printf("industrial control loop: %d sensor readings, %v cycle, %v deadline\n\n",
+		cycles, cycleTime, deadline)
+	for _, gf := range []bool{false, true} {
+		label := "grant-based"
+		if gf {
+			label = "grant-free "
+		}
+		within, mean := run(gf)
+		verdict := "MISSES the loop deadline"
+		if within >= 0.99 {
+			verdict = "holds the loop deadline"
+		}
+		fmt.Printf("%s UL: mean %v, %6.2f%% within %v → %s\n",
+			label, mean.Round(time.Microsecond), 100*within, deadline, verdict)
+	}
+	fmt.Println("\ngrant-free access removes the SR/grant handshake — the paper's §5")
+	fmt.Println("conclusion that grant-free is mandatory for sub-millisecond uplink.")
+}

@@ -1,0 +1,87 @@
+// FR1 vs FR2: mmWave offers 8× shorter slots (125 µs at µ3 vs 0.25 ms in
+// FR1) but rides a blockage-prone channel. This example streams packets
+// over both and reports the fraction delivered within the sub-millisecond
+// budget — the paper's §1 argument that FR2's latency advantage evaporates
+// into unreliability (only ≈4.4 % of mmWave packets were sub-ms in [19]).
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"urllcsim"
+)
+
+type outcome struct {
+	meanMs    float64
+	subMs     float64
+	delivered int
+	offered   int
+}
+
+func run(label string, cfg urllcsim.ScenarioConfig, n int) outcome {
+	sc, err := urllcsim.NewScenario(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	period := 2 * time.Millisecond
+	for i := 0; i < n; i++ {
+		sc.SendDownlink(time.Duration(i)*period+time.Duration(i%13)*101*time.Microsecond, 32)
+	}
+	results := sc.Run(time.Duration(n+100) * period)
+	var o outcome
+	o.offered = n
+	var sum float64
+	for _, r := range results {
+		if !r.Delivered {
+			continue
+		}
+		o.delivered++
+		ms := float64(r.Latency) / 1e6
+		sum += ms
+		if ms < 1 {
+			o.subMs++
+		}
+	}
+	if o.delivered > 0 {
+		o.meanMs = sum / float64(o.delivered)
+	}
+	o.subMs /= float64(n)
+	fmt.Printf("%-28s mean %6.2fms  sub-ms %5.1f%%  delivered %d/%d\n",
+		label, o.meanMs, 100*o.subMs, o.delivered, o.offered)
+	return o
+}
+
+func main() {
+	const n = 1000
+	fmt.Println("downlink, grant-free, PCIe SDR, 32B payloads")
+	fr1 := run("FR1 µ2 (0.25ms), clear sky", urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDM, SlotScale: urllcsim.Slot0p25ms,
+		GrantFree: true, Radio: urllcsim.RadioPCIe, RTKernel: true,
+		SNRdB: 22, Seed: 41,
+	}, n)
+	// Note: the 2-slot DM pattern is illegal at µ3 (250 µs period; the
+	// standard's minimum is 0.5 ms), so FR2 runs the 4-slot DDDU shape —
+	// itself a nice illustration of how the period floor limits FR2.
+	fr2clear := run("FR2 µ3 (125µs), clear sky", urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDDDU, SlotScale: urllcsim.Slot125us,
+		GrantFree: true, Radio: urllcsim.RadioPCIe, RTKernel: true,
+		SNRdB: 22, Seed: 41,
+	}, n)
+	fr2blocked := run("FR2 µ3 (125µs), blockage", urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDDDU, SlotScale: urllcsim.Slot125us,
+		GrantFree: true, Radio: urllcsim.RadioPCIe, RTKernel: true,
+		SNRdB: 22, BlockageChannel: true, HARQMaxTx: 6, Seed: 41,
+	}, n)
+
+	fmt.Println()
+	if fr2clear.meanMs < fr1.meanMs {
+		fmt.Println("under line-of-sight, FR2's short slots do beat FR1 —")
+	}
+	if fr2blocked.subMs < fr2clear.subMs {
+		fmt.Printf("but blockage erases the advantage: sub-ms drops from %.0f%% to %.0f%%\n",
+			100*fr2clear.subMs, 100*fr2blocked.subMs)
+	}
+	fmt.Println("reliability, not raw slot duration, is what gates URLLC in FR2 (§1, §5)")
+}

@@ -1,0 +1,3 @@
+module urllcsim
+
+go 1.23

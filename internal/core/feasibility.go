@@ -1,0 +1,218 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"urllcsim/internal/nr"
+	"urllcsim/internal/sim"
+)
+
+// URLLCDeadline is the one-way latency requirement of §1: 0.5 ms per
+// direction (1 ms round trip).
+const URLLCDeadline = 500 * sim.Microsecond
+
+// SixGDeadline is the 6G target discussed in §1/§9: 0.1 ms one-way.
+const SixGDeadline = 100 * sim.Microsecond
+
+// Mixed-slot split used for the minimal configurations: the mixed slot must
+// hold enough DL symbols for control+small data and enough UL symbols for
+// SR + small data, with the mandatory guard in between (§2).
+const (
+	mixedDL    = 6
+	mixedGuard = 2
+	mixedUL    = 6
+)
+
+// mustGrid builds a grid or panics — the embedded configurations are
+// compile-time constants in spirit.
+func mustGrid(c nr.CommonConfig, guard int, label string) *nr.Grid {
+	g, err := nr.BuildGrid(c, guard, label)
+	if err != nil {
+		panic(fmt.Sprintf("core: bad embedded config %s: %v", label, err))
+	}
+	return g
+}
+
+// ConfigDM is the D+M minimal Common Configuration at µ — the one §5 finds
+// feasible for grant-free UL and DL.
+func ConfigDM(mu nr.Numerology, as Assumptions) Config {
+	g := mustGrid(nr.CommonConfig{Mu: mu, Pattern1: nr.PatternDM(mu, mixedDL, mixedUL)}, 0, "DM")
+	return Config{Name: "DM", DL: g, UL: g, As: as}
+}
+
+// ConfigDMSplit is ConfigDM with an explicit mixed-slot split — used by the
+// sensitivity ablation: with only control-sized DL symbols in the mixed slot
+// (e.g. 2), DL data cannot ride it and DM loses its DL feasibility.
+func ConfigDMSplit(mu nr.Numerology, dlSyms, ulSyms int, as Assumptions) Config {
+	g := mustGrid(nr.CommonConfig{Mu: mu, Pattern1: nr.PatternDM(mu, dlSyms, ulSyms)}, 0,
+		fmt.Sprintf("DM(%dD/%dU)", dlSyms, ulSyms))
+	return Config{Name: g.Label, DL: g, UL: g, As: as}
+}
+
+// ConfigMU is the M+U minimal Common Configuration.
+func ConfigMU(mu nr.Numerology, as Assumptions) Config {
+	g := mustGrid(nr.CommonConfig{Mu: mu, Pattern1: nr.PatternMU(mu, mixedDL, mixedUL)}, 0, "MU")
+	return Config{Name: "MU", DL: g, UL: g, As: as}
+}
+
+// ConfigDU is the D+U minimal Common Configuration (implicit guard stolen
+// from the DL slot's tail).
+func ConfigDU(mu nr.Numerology, as Assumptions) Config {
+	g := mustGrid(nr.CommonConfig{Mu: mu, Pattern1: nr.PatternDU(mu)}, mixedGuard, "DU")
+	return Config{Name: "DU", DL: g, UL: g, As: as}
+}
+
+// ConfigDDDU is the paper's §7 testbed configuration.
+func ConfigDDDU(mu nr.Numerology, as Assumptions) Config {
+	g := mustGrid(nr.CommonConfig{Mu: mu, Pattern1: nr.PatternDDDU(mu)}, mixedGuard, "DDDU")
+	return Config{Name: "DDDU", DL: g, UL: g, As: as}
+}
+
+// ConfigMiniSlot is mini-slot (non-slot-based) operation: every symbol
+// flexible, scheduling at 2-symbol granularity.
+func ConfigMiniSlot(mu nr.Numerology, as Assumptions) Config {
+	kinds := make([]nr.SymbolKind, nr.SymbolsPerSlot)
+	for i := range kinds {
+		kinds[i] = nr.SymFlexible
+	}
+	g, err := nr.MiniSlotGrid(nr.MiniSlotConfig{Mu: mu, Length: 2}, kinds, "Mini-slot")
+	if err != nil {
+		panic(err)
+	}
+	return Config{Name: "Mini-slot", DL: g, UL: g, As: as}
+}
+
+// ConfigFDD is frequency-division duplexing: a full-duplex pair of carriers,
+// slot-based scheduling.
+func ConfigFDD(mu nr.Numerology, as Assumptions) Config {
+	return Config{
+		Name: "FDD",
+		DL:   nr.UniformGrid(mu, nr.SymDL, "FDD-DL"),
+		UL:   nr.UniformGrid(mu, nr.SymUL, "FDD-UL"),
+		As:   as,
+	}
+}
+
+// Table1Configs returns the five columns of Table 1 at numerology µ.
+func Table1Configs(mu nr.Numerology, as Assumptions) []Config {
+	return []Config{
+		ConfigDU(mu, as),
+		ConfigDM(mu, as),
+		ConfigMU(mu, as),
+		ConfigMiniSlot(mu, as),
+		ConfigFDD(mu, as),
+	}
+}
+
+// Verdict is one cell of the feasibility matrix.
+type Verdict struct {
+	Config   string
+	Mode     AccessMode
+	Worst    sim.Duration
+	Deadline sim.Duration
+	Meets    bool
+}
+
+// Matrix is the feasibility table (Table 1 shape).
+type Matrix struct {
+	Deadline sim.Duration
+	Configs  []string
+	Cells    map[string]map[AccessMode]Verdict
+}
+
+// Evaluate computes the worst-case latency of every (config, mode) pair
+// against the deadline.
+func Evaluate(configs []Config, deadline sim.Duration) (*Matrix, error) {
+	m := &Matrix{Deadline: deadline, Cells: map[string]map[AccessMode]Verdict{}}
+	for _, c := range configs {
+		m.Configs = append(m.Configs, c.Name)
+		row := map[AccessMode]Verdict{}
+		for _, mode := range Modes {
+			j, err := c.WorstCase(mode)
+			if err != nil {
+				return nil, fmt.Errorf("core: %s/%v: %w", c.Name, mode, err)
+			}
+			row[mode] = Verdict{
+				Config:   c.Name,
+				Mode:     mode,
+				Worst:    j.Latency(),
+				Deadline: deadline,
+				Meets:    j.Latency() <= deadline,
+			}
+		}
+		m.Cells[c.Name] = row
+	}
+	return m, nil
+}
+
+// Table1 evaluates the paper's Table 1: the five minimal configurations at
+// µ2 (0.25 ms slots — the only FR1 slot duration that can meet URLLC, §5)
+// against the 0.5 ms deadline, protocol terms only.
+func Table1() (*Matrix, error) {
+	return Evaluate(Table1Configs(nr.Mu2, DefaultAssumptions()), URLLCDeadline)
+}
+
+// Verdict returns one cell.
+func (m *Matrix) Verdict(config string, mode AccessMode) (Verdict, bool) {
+	row, ok := m.Cells[config]
+	if !ok {
+		return Verdict{}, false
+	}
+	v, ok := row[mode]
+	return v, ok
+}
+
+// String renders the matrix in the layout of Table 1 (✓/✗ with worst-case
+// latencies in ms).
+func (m *Matrix) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-16s", fmt.Sprintf("deadline %.2gms", float64(m.Deadline)/1e6))
+	for _, c := range m.Configs {
+		fmt.Fprintf(&sb, " %12s", c)
+	}
+	sb.WriteByte('\n')
+	for _, mode := range Modes {
+		fmt.Fprintf(&sb, "%-16s", mode)
+		for _, c := range m.Configs {
+			v := m.Cells[c][mode]
+			mark := "✗"
+			if v.Meets {
+				mark = "✓"
+			}
+			fmt.Fprintf(&sb, " %s %.3fms ", mark, float64(v.Worst)/1e6)
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+// PaperTable1 is the published Table 1, used by tests and EXPERIMENTS.md to
+// diff our engine against the paper.
+var PaperTable1 = map[string]map[AccessMode]bool{
+	"DU":        {GrantBasedUL: false, GrantFreeUL: true, Downlink: false},
+	"DM":        {GrantBasedUL: false, GrantFreeUL: true, Downlink: true},
+	"MU":        {GrantBasedUL: false, GrantFreeUL: true, Downlink: false},
+	"Mini-slot": {GrantBasedUL: true, GrantFreeUL: true, Downlink: true},
+	"FDD":       {GrantBasedUL: true, GrantFreeUL: true, Downlink: true},
+}
+
+// MatchesPaper diffs the matrix verdicts against PaperTable1, returning the
+// mismatching cells.
+func (m *Matrix) MatchesPaper() []string {
+	var diffs []string
+	for cfg, row := range PaperTable1 {
+		for mode, want := range row {
+			v, ok := m.Verdict(cfg, mode)
+			if !ok {
+				diffs = append(diffs, fmt.Sprintf("%s/%v missing", cfg, mode))
+				continue
+			}
+			if v.Meets != want {
+				diffs = append(diffs, fmt.Sprintf("%s/%v: got %v (worst %.3fms), paper says %v",
+					cfg, mode, v.Meets, float64(v.Worst)/1e6, want))
+			}
+		}
+	}
+	return diffs
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"fmt"
+
+	"urllcsim/internal/sim"
+)
+
+// RoundTrip is the composed journey of a ping: the UL request under the
+// given access mode, a server turnaround, and the DL reply ("the ping reply
+// traces back the same route. However, it can be immediately scheduled for
+// DL transmission at gNB's MAC layer" — §3).
+type RoundTrip struct {
+	UL    Journey
+	DL    Journey
+	Total sim.Duration
+}
+
+// WalkRoundTrip composes the deterministic timelines.
+func (c Config) WalkRoundTrip(m AccessMode, arrival sim.Time, turnaround sim.Duration) (RoundTrip, error) {
+	ul := c.Walk(m, arrival)
+	if ul.Err != nil {
+		return RoundTrip{}, ul.Err
+	}
+	dl := c.Walk(Downlink, ul.Complete.Add(turnaround))
+	if dl.Err != nil {
+		return RoundTrip{}, dl.Err
+	}
+	return RoundTrip{UL: ul, DL: dl, Total: dl.Complete.Sub(arrival)}, nil
+}
+
+// RoundTripWorstCase scans arrivals for the maximum total RTT. Note this is
+// generally *less* than the sum of the per-direction worst cases: the DL
+// reply's phase is fixed by the UL completion, and both worst cases cannot
+// be realised by one arrival.
+func (c Config) RoundTripWorstCase(m AccessMode, turnaround sim.Duration) (RoundTrip, error) {
+	period := c.DL.Period()
+	if up := c.UL.Period(); up > period {
+		period = up
+	}
+	var worst RoundTrip
+	found := false
+	nsyms := int64(period / c.symbolDur())
+	for i := int64(0); i <= nsyms; i++ {
+		start := c.DL.SymbolStart(i)
+		for _, t := range []sim.Time{start, start + 1, start.Add(c.symbolDur() / 2)} {
+			if t < 0 {
+				continue
+			}
+			rt, err := c.WalkRoundTrip(m, t, turnaround)
+			if err != nil {
+				return RoundTrip{}, err
+			}
+			if !found || rt.Total > worst.Total {
+				worst, found = rt, true
+			}
+		}
+	}
+	if !found {
+		return RoundTrip{}, fmt.Errorf("core: no feasible round trip for %v in %s", m, c.Name)
+	}
+	return worst, nil
+}
+
+// URLLCRoundTripDeadline is the 1 ms round-trip requirement of §1.
+const URLLCRoundTripDeadline = sim.Millisecond
+
+// MeetsRoundTrip reports whether the configuration's worst-case RTT under
+// mode m fits the 1 ms budget (with zero turnaround).
+func (c Config) MeetsRoundTrip(m AccessMode) (bool, sim.Duration, error) {
+	rt, err := c.RoundTripWorstCase(m, 0)
+	if err != nil {
+		return false, 0, err
+	}
+	return rt.Total <= URLLCRoundTripDeadline, rt.Total, nil
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"testing"
+
+	"urllcsim/internal/nr"
+	"urllcsim/internal/sim"
+)
+
+func TestRoundTripComposition(t *testing.T) {
+	cfg := ConfigDM(nr.Mu2, DefaultAssumptions())
+	rt, err := cfg.WalkRoundTrip(GrantFreeUL, 100, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.UL.Err != nil || rt.DL.Err != nil {
+		t.Fatal("journey errors")
+	}
+	if rt.DL.Arrival != rt.UL.Complete {
+		t.Fatalf("reply arrival %v != UL completion %v", rt.DL.Arrival, rt.UL.Complete)
+	}
+	if rt.Total != rt.DL.Complete.Sub(rt.UL.Arrival) {
+		t.Fatalf("total %v inconsistent", rt.Total)
+	}
+}
+
+func TestRoundTripTurnaround(t *testing.T) {
+	cfg := ConfigFDD(nr.Mu2, DefaultAssumptions())
+	a, err := cfg.WalkRoundTrip(GrantFreeUL, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := cfg.WalkRoundTrip(GrantFreeUL, 0, 50*sim.Microsecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A small turnaround can be absorbed by the reply's scheduling slack
+	// (the reply waits for the next slot boundary either way), so only
+	// monotonicity is guaranteed…
+	if b.Total < a.Total {
+		t.Fatalf("turnaround reduced the RTT: %v vs %v", b.Total, a.Total)
+	}
+	// …while a turnaround exceeding one slot must show through.
+	c2, err := cfg.WalkRoundTrip(GrantFreeUL, 0, sim.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c2.Total < a.Total+750*sim.Microsecond {
+		t.Fatalf("1ms turnaround mostly vanished: %v vs %v", c2.Total, a.Total)
+	}
+}
+
+func TestRoundTripWorstLEQSumOfWorsts(t *testing.T) {
+	// The composed worst case can never exceed the sum of per-direction
+	// worst cases (it fixes the DL phase), and must be at least the UL
+	// worst case alone.
+	for _, cfg := range Table1Configs(nr.Mu2, DefaultAssumptions()) {
+		rt, err := cfg.RoundTripWorstCase(GrantFreeUL, 0)
+		if err != nil {
+			t.Fatalf("%s: %v", cfg.Name, err)
+		}
+		ul, err := cfg.WorstCase(GrantFreeUL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dl, err := cfg.WorstCase(Downlink)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rt.Total > ul.Latency()+dl.Latency() {
+			t.Fatalf("%s: RTT worst %v exceeds sum of worsts %v", cfg.Name, rt.Total, ul.Latency()+dl.Latency())
+		}
+		if rt.Total < ul.Latency() {
+			t.Fatalf("%s: RTT worst %v below UL worst %v", cfg.Name, rt.Total, ul.Latency())
+		}
+	}
+}
+
+func TestOneMsRoundTripVerdicts(t *testing.T) {
+	// §1 phrases URLLC as "0.5ms latency of both uplink and downlink (1ms
+	// round trip)". The engine exposes that these are NOT equivalent: the
+	// composed round trip fixes the reply's phase at the request's
+	// completion, so both per-direction worst cases cannot be realised by
+	// one packet — every minimal configuration meets 1ms RTT under
+	// grant-free UL, including DU/MU which *fail* the 0.5ms one-way DL
+	// bound. The per-direction requirement is the strictly harder one,
+	// which is why the paper (and Table 1) evaluates directions separately.
+	for _, cfg := range Table1Configs(nr.Mu2, DefaultAssumptions()) {
+		ok, total, err := cfg.MeetsRoundTrip(GrantFreeUL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("%-10s GF round trip worst = %.3fms (%v)", cfg.Name, float64(total)/1e6, ok)
+		if !ok {
+			t.Fatalf("%s grant-free RTT %v must fit 1ms", cfg.Name, total)
+		}
+	}
+	// Consistency: a config failing one-way DL must still show an RTT
+	// above the sum of its *typical* phases — sanity-check DU's RTT sits
+	// between its UL worst and the sum of worsts.
+	du := Table1Configs(nr.Mu2, DefaultAssumptions())[0]
+	rt, err := du.RoundTripWorstCase(GrantFreeUL, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt.Total < 500*sim.Microsecond {
+		t.Fatalf("DU RTT worst %v implausibly small", rt.Total)
+	}
+}
+
+func TestGrantBasedRoundTripFailsEverywhereOnCommonConfigs(t *testing.T) {
+	for _, name := range []string{"DU", "DM", "MU"} {
+		var cfg Config
+		for _, c := range Table1Configs(nr.Mu2, DefaultAssumptions()) {
+			if c.Name == name {
+				cfg = c
+			}
+		}
+		ok, total, err := cfg.MeetsRoundTrip(GrantBasedUL)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ok {
+			t.Fatalf("%s grant-based RTT %v must exceed 1ms", name, total)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"testing"
+
+	"urllcsim/internal/nr"
+	"urllcsim/internal/sim"
+)
+
+func TestSRPeriodIncreasesGrantBasedWorstCase(t *testing.T) {
+	// On FDD (UL always available) the SR period is the *only* thing
+	// gating the SR, so the grant-based worst case must grow monotonically
+	// with it.
+	prev := sim.Duration(0)
+	for _, period := range []int{1, 2, 4, 8, 16} {
+		as := DefaultAssumptions()
+		as.SRPeriodSlots = period
+		j, err := ConfigFDD(nr.Mu2, as).WorstCase(GrantBasedUL)
+		if err != nil {
+			t.Fatalf("period %d: %v", period, err)
+		}
+		if j.Latency() < prev {
+			t.Fatalf("worst case shrank at SR period %d: %v < %v", period, j.Latency(), prev)
+		}
+		prev = j.Latency()
+	}
+	// Period 8 at µ2 = 2ms of SR silence: worst case must exceed that.
+	as := DefaultAssumptions()
+	as.SRPeriodSlots = 8
+	j, err := ConfigFDD(nr.Mu2, as).WorstCase(GrantBasedUL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.Latency() < 2*sim.Millisecond {
+		t.Fatalf("SR period 8 worst = %v, want > 2ms (one SR cycle)", j.Latency())
+	}
+}
+
+func TestSRPeriodOneIsDefault(t *testing.T) {
+	asDefault := DefaultAssumptions()
+	asOne := DefaultAssumptions()
+	asOne.SRPeriodSlots = 1
+	a, err := ConfigFDD(nr.Mu2, asDefault).WorstCase(GrantBasedUL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ConfigFDD(nr.Mu2, asOne).WorstCase(GrantBasedUL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Latency() != b.Latency() {
+		t.Fatalf("period 1 (%v) differs from default (%v)", b.Latency(), a.Latency())
+	}
+}
+
+func TestSRPeriodDoesNotAffectGrantFreeOrDL(t *testing.T) {
+	as := DefaultAssumptions()
+	as.SRPeriodSlots = 8
+	base := DefaultAssumptions()
+	for _, mode := range []AccessMode{GrantFreeUL, Downlink} {
+		a, err := ConfigDM(nr.Mu2, base).WorstCase(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := ConfigDM(nr.Mu2, as).WorstCase(mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.Latency() != b.Latency() {
+			t.Fatalf("%v changed with SR period: %v vs %v", mode, a.Latency(), b.Latency())
+		}
+	}
+}
+
+func TestSRPeriodOnTDD(t *testing.T) {
+	// On DM, SR occasions live in the mixed slot's UL symbols; restricting
+	// them to every 4th slot must push the grant-based worst case out by
+	// whole TDD periods.
+	as := DefaultAssumptions()
+	as.SRPeriodSlots = 4
+	as.SROffsetSlots = 1 // align occasions with DM's mixed (UL-bearing) slots
+	base, err := ConfigDM(nr.Mu2, DefaultAssumptions()).WorstCase(GrantBasedUL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	restricted, err := ConfigDM(nr.Mu2, as).WorstCase(GrantBasedUL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restricted.Latency() <= base.Latency() {
+		t.Fatalf("SR restriction did not hurt: %v vs %v", restricted.Latency(), base.Latency())
+	}
+	// The SR must actually sit in an allowed slot.
+	slotNs := int64(nr.Mu2.SlotDuration())
+	if (int64(restricted.SRStart)/slotNs)%4 != 1 {
+		t.Fatalf("SR at %v not in an allowed slot", restricted.SRStart)
+	}
+}
+
+func TestSRMisalignedOffsetReportsError(t *testing.T) {
+	// Period 4, offset 0 on DM: occasions land on DL slots only — the
+	// engine must surface the impossibility.
+	as := DefaultAssumptions()
+	as.SRPeriodSlots = 4
+	as.SROffsetSlots = 0
+	if _, err := ConfigDM(nr.Mu2, as).WorstCase(GrantBasedUL); err == nil {
+		t.Fatal("impossible SR configuration accepted")
+	}
+}

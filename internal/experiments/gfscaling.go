@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"urllcsim/internal/multiue"
+	"urllcsim/internal/sim"
+)
+
+// GFScaling quantifies §9's grant-free scalability problem on the DM
+// configuration: dedicated pre-allocation wastes resources and its access
+// delay grows linearly with the UE count; shared (contention) pre-allocation
+// keeps delay flat until collisions take over.
+func GFScaling(seed uint64) (string, error) {
+	base := multiue.Config{
+		Period:      500 * sim.Microsecond, // DM at µ2
+		Units:       3,                     // 6 UL symbols / 2-symbol packets
+		ArrivalProb: 0.05,
+	}
+	rng := sim.NewRNG(seed + 13)
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DM µ2, 3 grant-free units per 0.5ms period, p(arrival)=%.2f per UE per period\n\n", base.ArrivalProb)
+	fmt.Fprintf(&sb, "%-6s | %14s %12s | %14s %14s %14s\n",
+		"UEs", "dedic. worst", "utilisation", "shared coll.", "coll. (MC)", "shared mean")
+	for _, n := range []int{1, 3, 6, 12, 24, 48, 96} {
+		c := base
+		c.UEs = n
+		d, err := multiue.AnalyzeDedicated(c)
+		if err != nil {
+			return "", err
+		}
+		s, err := multiue.AnalyzeShared(c)
+		if err != nil {
+			return "", err
+		}
+		collMC, _, err := multiue.SimulateShared(c, 40000, rng)
+		if err != nil {
+			return "", err
+		}
+		sharedMean := fmt.Sprintf("%12.3fms", float64(s.MeanLatency)/1e6)
+		if collMC > 0.5 {
+			// Without backoff the backlog becomes self-sustaining: the
+			// Monte-Carlo shows the system past its stability point, where
+			// the light-load closed form no longer applies.
+			sharedMean = "    unstable"
+		}
+		fmt.Fprintf(&sb, "%-6d | %12.3fms %11.1f%% | %13.1f%% %13.1f%% %s\n",
+			n,
+			float64(d.WorstAccessDelay)/1e6, 100*d.Utilisation,
+			100*s.CollisionProb, 100*collMC,
+			sharedMean)
+	}
+	if x, err := multiue.Crossover(base, 500); err == nil && x > 0 {
+		fmt.Fprintf(&sb, "\nshared contention beats dedicated pre-allocation from %d UEs up\n", x)
+	}
+	sb.WriteString("dedicated: delay ∝ UEs and ≥95% of reserved units idle; shared: flat until\n")
+	sb.WriteString("collisions (correlated retries make it worse than the naive bound) — §9's\n")
+	sb.WriteString("\"predict and schedule uplink data arrivals\" open problem in numbers\n")
+	return sb.String(), nil
+}
+
+func init() {
+	All = append(All, Experiment{"gfscaling", "A5 — grant-free pre-allocation scalability (§9)", GFScaling})
+}

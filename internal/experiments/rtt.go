@@ -1,0 +1,76 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"urllcsim/internal/core"
+	"urllcsim/internal/metrics"
+	"urllcsim/internal/node"
+	"urllcsim/internal/nr"
+	"urllcsim/internal/sim"
+)
+
+// RTT measures full ping round trips (§3's journey, both directions) on the
+// §7 testbed under grant-based and grant-free access, and contrasts them
+// with the analytic 1ms-RTT verdicts of the minimal configurations.
+func RTT(seed uint64) (string, error) {
+	var sb strings.Builder
+
+	// --- Simulated: the testbed's ping RTT distribution ---
+	fmt.Fprintf(&sb, "simulated ping RTT on the §7 testbed (DDDU µ1, USB2 B210, 100µs server):\n")
+	for _, gf := range []bool{false, true} {
+		cfg, err := TestbedConfig(gf, seed)
+		if err != nil {
+			return "", err
+		}
+		s, err := node.NewSystem(cfg)
+		if err != nil {
+			return "", err
+		}
+		const n = 400
+		rng := sim.NewRNG(seed ^ 0xF00D)
+		period := cfg.Grid.Period()
+		for i := 0; i < n; i++ {
+			at := sim.Time(int64(i) * int64(period)).Add(rng.UniformDuration(0, period))
+			s.OfferPing(at, 32, 100*sim.Microsecond)
+		}
+		s.Eng.Run(sim.Time(int64(n+60) * int64(period)))
+		h := metrics.NewHistogram(20, 40)
+		delivered := 0
+		for _, pr := range s.PingResults() {
+			if pr.Delivered {
+				delivered++
+				h.AddDuration(pr.RTT)
+			}
+		}
+		label := "grant-based"
+		if gf {
+			label = "grant-free "
+		}
+		fmt.Fprintf(&sb, "  %s: mean %.2fms p50 %.2fms p95 %.2fms sub-1ms %.1f%% (delivered %d/%d)\n",
+			label, h.Mean(), h.Percentile(0.5), h.Percentile(0.95), 100*h.FractionBelow(1), delivered, n)
+	}
+
+	// --- Analytic: 1ms RTT verdicts for the minimal configurations ---
+	fmt.Fprintf(&sb, "\nanalytic worst-case RTT (grant-free, zero turnaround), 1ms budget:\n")
+	for _, cfg := range core.Table1Configs(nr.Mu2, core.DefaultAssumptions()) {
+		ok, total, err := cfg.MeetsRoundTrip(core.GrantFreeUL)
+		if err != nil {
+			return "", err
+		}
+		mark := "✗"
+		if ok {
+			mark = "✓"
+		}
+		fmt.Fprintf(&sb, "  %-10s %s %.3fms\n", cfg.Name, mark, float64(total)/1e6)
+	}
+	sb.WriteString("\nnote: the 1ms-RTT budget is strictly weaker than 0.5ms each way — the reply's\n")
+	sb.WriteString("phase is pinned by the request, so both worst cases cannot coincide; the\n")
+	sb.WriteString("paper's per-direction analysis (Table 1) is the binding one\n")
+	return sb.String(), nil
+}
+
+func init() {
+	All = append(All, Experiment{"rtt", "X6 — ping round-trip time, simulated and analytic", RTT})
+}

@@ -1,0 +1,299 @@
+package fec
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+
+	"urllcsim/internal/sim"
+)
+
+func TestBitsBytesRoundTrip(t *testing.T) {
+	data := []byte{0x00, 0xFF, 0xA5, 0x3C}
+	bs := BytesToBits(data)
+	if len(bs) != 32 {
+		t.Fatalf("bit count %d", len(bs))
+	}
+	back, err := BitsToBytes(bs)
+	if err != nil || !bytes.Equal(back, data) {
+		t.Fatalf("round trip failed: %x %v", back, err)
+	}
+	if _, err := BitsToBytes(make([]Bit, 7)); err == nil {
+		t.Fatal("non-aligned bits accepted")
+	}
+	if _, err := BitsToBytes([]Bit{9, 0, 0, 0, 0, 0, 0, 0}); err == nil {
+		t.Fatal("invalid bit value accepted")
+	}
+}
+
+func TestConvEncodeLengthAndTail(t *testing.T) {
+	info := BytesToBits([]byte{0xAB, 0xCD})
+	coded := ConvEncode(info)
+	if len(coded) != 2*(16+6) {
+		t.Fatalf("coded length %d, want 44", len(coded))
+	}
+	// All-zero input keeps the encoder in state 0: all-zero output.
+	zero := ConvEncode(make([]Bit, 24))
+	for i, b := range zero {
+		if b != 0 {
+			t.Fatalf("zero input produced 1 at %d", i)
+		}
+	}
+}
+
+func TestViterbiNoErrors(t *testing.T) {
+	msg := []byte("URLLC: 0.5ms one-way, five nines")
+	info := BytesToBits(msg)
+	coded := ConvEncode(info)
+	dec, err := ViterbiDecode(coded, len(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := BitsToBytes(dec)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("clean decode failed: %q", got)
+	}
+}
+
+func TestViterbiCorrectsScatteredErrors(t *testing.T) {
+	msg := []byte{0x12, 0x34, 0x56, 0x78, 0x9A, 0xBC, 0xDE, 0xF0}
+	info := BytesToBits(msg)
+	coded := ConvEncode(info)
+	// Flip well-separated bits — within the free distance (10) per window,
+	// the (133,171) code corrects them.
+	for _, pos := range []int{3, 40, 77, 110} {
+		coded[pos] ^= 1
+	}
+	dec, err := ViterbiDecode(coded, len(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := BitsToBytes(dec)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decode with scattered errors failed: %x", got)
+	}
+}
+
+func TestViterbiWithErasures(t *testing.T) {
+	msg := []byte{0xDE, 0xAD}
+	info := BytesToBits(msg)
+	coded := ConvEncode(info)
+	for _, pos := range []int{5, 6, 20, 33} {
+		coded[pos] = Erasure
+	}
+	dec, err := ViterbiDecode(coded, len(info))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := BitsToBytes(dec)
+	if !bytes.Equal(got, msg) {
+		t.Fatalf("decode with erasures failed: %x", got)
+	}
+}
+
+func TestViterbiLengthMismatch(t *testing.T) {
+	if _, err := ViterbiDecode(make([]Bit, 10), 16); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+}
+
+func TestPropertyConvRoundTrip(t *testing.T) {
+	f := func(msg []byte) bool {
+		if len(msg) == 0 {
+			return true
+		}
+		if len(msg) > 256 {
+			msg = msg[:256]
+		}
+		info := BytesToBits(msg)
+		dec, err := ViterbiDecode(ConvEncode(info), len(info))
+		if err != nil {
+			return false
+		}
+		got, err := BitsToBytes(dec)
+		return err == nil && bytes.Equal(got, msg)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: random sparse channel errors (≤2 per 32-bit window) decode
+// correctly — genuine coding gain, not a pass-through.
+func TestPropertyConvCorrectsSparseErrors(t *testing.T) {
+	rng := sim.NewRNG(99)
+	for trial := 0; trial < 30; trial++ {
+		msg := make([]byte, 24)
+		for i := range msg {
+			msg[i] = byte(rng.Uint64())
+		}
+		info := BytesToBits(msg)
+		coded := ConvEncode(info)
+		for w := 0; w+32 <= len(coded); w += 32 {
+			coded[w+rng.Intn(32)] ^= 1
+		}
+		dec, err := ViterbiDecode(coded, len(info))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, _ := BitsToBytes(dec)
+		if !bytes.Equal(got, msg) {
+			t.Fatalf("trial %d: sparse errors not corrected", trial)
+		}
+	}
+}
+
+func TestRateMatchRepetition(t *testing.T) {
+	coded := []Bit{1, 0, 1, 1}
+	out, err := RateMatch(coded, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []Bit{1, 0, 1, 1, 1, 0, 1, 1, 1, 0}
+	if !bytes.Equal(out, want) {
+		t.Fatalf("repetition = %v", out)
+	}
+}
+
+func TestRateMatchPuncturing(t *testing.T) {
+	coded := make([]Bit, 100)
+	out, err := RateMatch(coded, 80)
+	if err != nil || len(out) != 80 {
+		t.Fatalf("puncture: %v len=%d", err, len(out))
+	}
+	if _, err := RateMatch(coded, 10); err == nil {
+		t.Fatal("extreme puncturing accepted")
+	}
+	if _, err := RateMatch(nil, 10); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestRateRecoverMajorityVote(t *testing.T) {
+	// Mother length 4, repeated 2.5×: positions 0,1 have 3 votes.
+	matched := []Bit{1, 0, 1, 1 /**/, 0, 0, 1, 1 /**/, 1, 0}
+	rec, err := RateRecover(matched, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// pos0 votes {1,0,1}→1; pos1 {0,0,0}→0; pos2 {1,1}→1; pos3 {1,1}→1.
+	want := []Bit{1, 0, 1, 1}
+	if !bytes.Equal(rec, want) {
+		t.Fatalf("recover = %v, want %v", rec, want)
+	}
+}
+
+func TestRateRecoverErasures(t *testing.T) {
+	// A 2-bit stream recovered to mother length 4 means positions were
+	// punctured; the evenly spread rule keeps positions 1 and 3, so 0 and 2
+	// come back as erasures.
+	rec, err := RateRecover([]Bit{1, 0}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec[0] != Erasure || rec[2] != Erasure {
+		t.Fatalf("punctured positions not erased: %v", rec)
+	}
+	if rec[1] != 1 || rec[3] != 0 {
+		t.Fatalf("kept positions misplaced: %v", rec)
+	}
+	if _, err := RateRecover(nil, 0); err == nil {
+		t.Fatal("zero mother length accepted")
+	}
+}
+
+func TestPropertyRateMatchRoundTripThroughViterbi(t *testing.T) {
+	rng := sim.NewRNG(7)
+	for trial := 0; trial < 20; trial++ {
+		msg := make([]byte, 8+rng.Intn(40))
+		for i := range msg {
+			msg[i] = byte(rng.Uint64())
+		}
+		info := BytesToBits(msg)
+		mother := 2 * (len(info) + 6)
+		// Targets from mild puncturing to 2× repetition.
+		for _, target := range []int{mother * 9 / 10, mother, mother * 3 / 2, mother * 2} {
+			matched, err := EncodeBlock(msg, target)
+			if err != nil {
+				t.Fatalf("encode target %d: %v", target, err)
+			}
+			if len(matched) != target {
+				t.Fatalf("matched %d, want %d", len(matched), target)
+			}
+			got, err := DecodeBlock(matched, len(msg), target)
+			if err != nil || !bytes.Equal(got, msg) {
+				t.Fatalf("target %d decode failed: %v", target, err)
+			}
+		}
+	}
+}
+
+func TestSegmentSingleBlock(t *testing.T) {
+	tb := make([]byte, 100)
+	blocks := Segment(tb)
+	if len(blocks) != 1 {
+		t.Fatalf("small TB produced %d blocks", len(blocks))
+	}
+	got, err := Reassemble(blocks, len(tb))
+	if err != nil || !bytes.Equal(got, tb) {
+		t.Fatalf("single block round trip: %v", err)
+	}
+}
+
+func TestSegmentMultiBlock(t *testing.T) {
+	tb := make([]byte, 5000)
+	for i := range tb {
+		tb[i] = byte(i * 31)
+	}
+	blocks := Segment(tb)
+	if len(blocks) < 2 {
+		t.Fatalf("5000B TB produced %d blocks", len(blocks))
+	}
+	for _, blk := range blocks {
+		if len(blk) > MaxCodeBlockBytes {
+			t.Fatalf("block size %d exceeds cap", len(blk))
+		}
+	}
+	got, err := Reassemble(blocks, len(tb))
+	if err != nil || !bytes.Equal(got, tb) {
+		t.Fatalf("multi block round trip: %v", err)
+	}
+}
+
+func TestReassembleDetectsCorruption(t *testing.T) {
+	tb := make([]byte, 3000)
+	blocks := Segment(tb)
+	blocks[1][10] ^= 0xFF
+	if _, err := Reassemble(blocks, len(tb)); err == nil {
+		t.Fatal("corrupted code block accepted")
+	}
+	if _, err := Reassemble(nil, 10); err == nil {
+		t.Fatal("empty blocks accepted")
+	}
+	if _, err := Reassemble([][]byte{{1, 2}}, 100); err == nil {
+		t.Fatal("truncated block accepted")
+	}
+}
+
+func TestPropertySegmentReassemble(t *testing.T) {
+	f := func(tb []byte) bool {
+		got, err := Reassemble(Segment(tb), len(tb))
+		return err == nil && bytes.Equal(got, tb)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkViterbi1KB(b *testing.B) {
+	msg := make([]byte, 1024)
+	info := BytesToBits(msg)
+	coded := ConvEncode(info)
+	b.SetBytes(1024)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := ViterbiDecode(coded, len(info)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

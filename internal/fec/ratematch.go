@@ -1,0 +1,97 @@
+package fec
+
+import "fmt"
+
+// Erasure marks a punctured (unknown) bit position for the decoder.
+const Erasure Bit = 2
+
+// RateMatch adapts a coded stream to exactly target bits using a circular
+// buffer, the same structural device as TS 38.212 §5.4: repetition when
+// target exceeds the mother-code length, puncturing (of evenly spaced
+// positions from the tail) when it is shorter.
+func RateMatch(coded []Bit, target int) ([]Bit, error) {
+	n := len(coded)
+	if n == 0 || target <= 0 {
+		return nil, fmt.Errorf("fec: rate match %d -> %d", n, target)
+	}
+	// Puncturing more than 1/3 of the mother code overwhelms the free
+	// distance of the (133,171) code; refuse nonsensical targets.
+	if target < n*2/3 {
+		return nil, fmt.Errorf("fec: target %d punctures more than 1/3 of %d coded bits", target, n)
+	}
+	if target >= n {
+		out := make([]Bit, target)
+		for i := 0; i < target; i++ {
+			out[i] = coded[i%n]
+		}
+		return out, nil
+	}
+	// Puncture: keep target evenly spaced positions so the decoder never
+	// sees a long run of erasures (contiguous puncturing is undecodable).
+	out := make([]Bit, 0, target)
+	for i := 0; i < n; i++ {
+		if keepPunctured(i, n, target) {
+			out = append(out, coded[i])
+		}
+	}
+	return out, nil
+}
+
+// keepPunctured reports whether mother-code position i survives puncturing
+// from n down to target bits (evenly spread selection).
+func keepPunctured(i, n, target int) bool {
+	return (i+1)*target/n > i*target/n
+}
+
+// RateRecover inverts RateMatch: it reconstructs the mother-code stream of
+// length n, combining repeated copies by majority vote and marking punctured
+// positions as erasures.
+func RateRecover(matched []Bit, n int) ([]Bit, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("fec: recover to %d bits", n)
+	}
+	ones := make([]int, n)
+	votes := make([]int, n)
+	if len(matched) < n {
+		// Punctured stream: map received bits back to their kept positions.
+		j := 0
+		for i := 0; i < n && j < len(matched); i++ {
+			if !keepPunctured(i, n, len(matched)) {
+				continue
+			}
+			if b := matched[j]; b != Erasure {
+				votes[i]++
+				if b == 1 {
+					ones[i]++
+				}
+			}
+			j++
+		}
+	} else {
+		for i, b := range matched {
+			if b == Erasure {
+				continue
+			}
+			votes[i%n]++
+			if b == 1 {
+				ones[i%n]++
+			}
+		}
+	}
+	out := make([]Bit, n)
+	for i := range out {
+		switch {
+		case votes[i] == 0:
+			out[i] = Erasure
+		case 2*ones[i] > votes[i]:
+			out[i] = 1
+		case 2*ones[i] == votes[i]:
+			// Tie: keep the first received copy's value (stored in ones as
+			// half the votes; arbitrary but deterministic choice of 1).
+			out[i] = 1
+		default:
+			out[i] = 0
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,256 @@
+// Package metrics provides the measurement machinery of the benchmark
+// harness: streaming mean/std accumulators (Table 2), latency histograms and
+// CDFs (Fig. 6), percentile and reliability estimation (the 99.999 %
+// requirement), and ASCII rendering for terminal reports.
+package metrics
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"urllcsim/internal/sim"
+)
+
+// Accumulator is a streaming mean/variance/min/max tracker (Welford).
+type Accumulator struct {
+	n        int64
+	mean, m2 float64
+	min, max float64
+}
+
+// Add records one observation.
+func (a *Accumulator) Add(x float64) {
+	a.n++
+	if a.n == 1 {
+		a.min, a.max = x, x
+	} else {
+		if x < a.min {
+			a.min = x
+		}
+		if x > a.max {
+			a.max = x
+		}
+	}
+	d := x - a.mean
+	a.mean += d / float64(a.n)
+	a.m2 += d * (x - a.mean)
+}
+
+// AddDuration records a duration in microseconds (the paper's unit).
+func (a *Accumulator) AddDuration(d sim.Duration) { a.Add(float64(d) / 1000) }
+
+// N returns the observation count.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Mean returns the running mean.
+func (a *Accumulator) Mean() float64 { return a.mean }
+
+// Std returns the population standard deviation.
+func (a *Accumulator) Std() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return math.Sqrt(a.m2 / float64(a.n))
+}
+
+// Min returns the smallest observation (0 when empty).
+func (a *Accumulator) Min() float64 {
+	return a.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (a *Accumulator) Max() float64 {
+	return a.max
+}
+
+// Histogram is a fixed-bin latency histogram over [0, Max) with overflow
+// counted separately. Bin width = Max/Bins.
+type Histogram struct {
+	MaxValue float64
+	Counts   []int64
+	Overflow int64
+	total    int64
+	samples  []float64 // retained for exact percentiles
+}
+
+// NewHistogram returns a histogram over [0, max) with the given bin count.
+func NewHistogram(max float64, bins int) *Histogram {
+	if bins <= 0 || max <= 0 {
+		panic("metrics: histogram needs positive max and bins")
+	}
+	return &Histogram{MaxValue: max, Counts: make([]int64, bins)}
+}
+
+// Add records one value.
+func (h *Histogram) Add(x float64) {
+	h.total++
+	h.samples = append(h.samples, x)
+	if x < 0 {
+		x = 0
+	}
+	if x >= h.MaxValue {
+		h.Overflow++
+		return
+	}
+	i := int(x / h.MaxValue * float64(len(h.Counts)))
+	if i >= len(h.Counts) {
+		i = len(h.Counts) - 1
+	}
+	h.Counts[i]++
+}
+
+// AddDuration records a duration in milliseconds (Fig. 6's axis unit).
+func (h *Histogram) AddDuration(d sim.Duration) { h.Add(float64(d) / 1e6) }
+
+// N returns the number of recorded values.
+func (h *Histogram) N() int64 { return h.total }
+
+// BinCenter returns the centre value of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := h.MaxValue / float64(len(h.Counts))
+	return (float64(i) + 0.5) * w
+}
+
+// Probability returns the fraction of samples in bin i — the y-axis of
+// Fig. 6.
+func (h *Histogram) Probability(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.Counts[i]) / float64(h.total)
+}
+
+// Percentile returns the exact p-quantile (0 ≤ p ≤ 1) of all samples.
+func (h *Histogram) Percentile(p float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	s := make([]float64, len(h.samples))
+	copy(s, h.samples)
+	sort.Float64s(s)
+	if p <= 0 {
+		return s[0]
+	}
+	if p >= 1 {
+		return s[len(s)-1]
+	}
+	i := int(p * float64(len(s)-1))
+	return s[i]
+}
+
+// FractionBelow returns the share of samples strictly below x — e.g. the
+// "sub-millisecond 4.4 % of the time" statistic for mmWave.
+func (h *Histogram) FractionBelow(x float64) float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	n := 0
+	for _, v := range h.samples {
+		if v < x {
+			n++
+		}
+	}
+	return float64(n) / float64(len(h.samples))
+}
+
+// Mean returns the sample mean.
+func (h *Histogram) Mean() float64 {
+	if len(h.samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range h.samples {
+		sum += v
+	}
+	return sum / float64(len(h.samples))
+}
+
+// ASCII renders the histogram as rows of "center | bar count" with width
+// proportional to probability (Fig. 6 in a terminal).
+func (h *Histogram) ASCII(width int) string {
+	var sb strings.Builder
+	maxP := 0.0
+	for i := range h.Counts {
+		if p := h.Probability(i); p > maxP {
+			maxP = p
+		}
+	}
+	for i := range h.Counts {
+		p := h.Probability(i)
+		bar := 0
+		if maxP > 0 {
+			bar = int(p / maxP * float64(width))
+		}
+		fmt.Fprintf(&sb, "%7.2f | %-*s %.4f\n", h.BinCenter(i), width, strings.Repeat("#", bar), p)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&sb, ">%6.2f | overflow %d (%.4f)\n", h.MaxValue, h.Overflow,
+			float64(h.Overflow)/float64(h.total))
+	}
+	return sb.String()
+}
+
+// Reliability is the deadline-miss bookkeeping of the URLLC requirement:
+// reliability = delivered-within-deadline / offered.
+type Reliability struct {
+	Deadline sim.Duration
+	Offered  int64
+	Met      int64
+	Lost     int64 // never delivered at all
+}
+
+// Record accounts one packet: delivered says whether it arrived, lat its
+// one-way latency when delivered.
+func (r *Reliability) Record(delivered bool, lat sim.Duration) {
+	r.Offered++
+	if !delivered {
+		r.Lost++
+		return
+	}
+	if lat <= r.Deadline {
+		r.Met++
+	}
+}
+
+// Value returns the achieved reliability in [0,1].
+func (r *Reliability) Value() float64 {
+	if r.Offered == 0 {
+		return 0
+	}
+	return float64(r.Met) / float64(r.Offered)
+}
+
+// Nines returns the "number of nines": 0.99999 → 5.0. Capped at 9 nines to
+// keep reports finite when nothing missed.
+func (r *Reliability) Nines() float64 {
+	v := r.Value()
+	if v >= 1 {
+		return 9
+	}
+	if v <= 0 {
+		return 0
+	}
+	n := -math.Log10(1 - v)
+	if n > 9 {
+		n = 9
+	}
+	return n
+}
+
+// MeetsURLLC reports whether the 99.999 % bar of §1 is reached.
+func (r *Reliability) MeetsURLLC() bool { return r.Value() >= 0.99999 }
+
+// Table renders rows of label/mean/std — the shape of Table 2.
+func Table(rows []struct {
+	Label string
+	Acc   *Accumulator
+}) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-10s %10s %10s %8s\n", "", "Mean [µs]", "STD [µs]", "N")
+	for _, r := range rows {
+		fmt.Fprintf(&sb, "%-10s %10.2f %10.2f %8d\n", r.Label, r.Acc.Mean(), r.Acc.Std(), r.Acc.N())
+	}
+	return sb.String()
+}

@@ -1,0 +1,211 @@
+package metrics
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"urllcsim/internal/sim"
+)
+
+func TestAccumulatorMoments(t *testing.T) {
+	var a Accumulator
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		a.Add(x)
+	}
+	if a.N() != 8 || a.Mean() != 5 {
+		t.Fatalf("N=%d mean=%v", a.N(), a.Mean())
+	}
+	if math.Abs(a.Std()-2) > 1e-12 {
+		t.Fatalf("std = %v, want 2", a.Std())
+	}
+	if a.Min() != 2 || a.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", a.Min(), a.Max())
+	}
+}
+
+func TestAccumulatorEmptyAndSingle(t *testing.T) {
+	var a Accumulator
+	if a.Std() != 0 || a.Mean() != 0 {
+		t.Fatal("empty accumulator not zero")
+	}
+	a.Add(42)
+	if a.Std() != 0 || a.Mean() != 42 || a.Min() != 42 || a.Max() != 42 {
+		t.Fatal("single-sample stats wrong")
+	}
+}
+
+func TestAccumulatorDurationUnits(t *testing.T) {
+	var a Accumulator
+	a.AddDuration(484200 * sim.Nanosecond) // the paper's RLC-q mean
+	if math.Abs(a.Mean()-484.2) > 1e-9 {
+		t.Fatalf("duration recorded as %vµs", a.Mean())
+	}
+}
+
+// Property: streaming moments match the two-pass computation.
+func TestPropertyAccumulatorMatchesTwoPass(t *testing.T) {
+	f := func(raw []uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		var a Accumulator
+		sum := 0.0
+		for _, v := range raw {
+			a.Add(float64(v))
+			sum += float64(v)
+		}
+		mean := sum / float64(len(raw))
+		var ss float64
+		for _, v := range raw {
+			ss += (float64(v) - mean) * (float64(v) - mean)
+		}
+		std := math.Sqrt(ss / float64(len(raw)))
+		return math.Abs(a.Mean()-mean) < 1e-6 && math.Abs(a.Std()-std) < 1e-6
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(8, 16) // Fig. 6's 0–8 ms axis
+	h.Add(0.1)
+	h.Add(0.49) // same bin (width 0.5)
+	h.Add(0.51)
+	h.Add(7.99)
+	h.Add(9.5) // overflow
+	if h.N() != 5 {
+		t.Fatalf("N = %d", h.N())
+	}
+	if h.Counts[0] != 2 || h.Counts[1] != 1 || h.Counts[15] != 1 || h.Overflow != 1 {
+		t.Fatalf("bins = %v overflow=%d", h.Counts, h.Overflow)
+	}
+	if math.Abs(h.BinCenter(0)-0.25) > 1e-12 {
+		t.Fatalf("bin 0 centre = %v", h.BinCenter(0))
+	}
+	if math.Abs(h.Probability(0)-0.4) > 1e-12 {
+		t.Fatalf("P(bin0) = %v", h.Probability(0))
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram(1, 4)
+	h.Add(-0.5)
+	if h.Counts[0] != 1 {
+		t.Fatal("negative value not clamped into bin 0")
+	}
+}
+
+func TestHistogramPercentiles(t *testing.T) {
+	h := NewHistogram(100, 10)
+	for i := 1; i <= 100; i++ {
+		h.Add(float64(i))
+	}
+	if p := h.Percentile(0.5); p < 49 || p > 52 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := h.Percentile(0); p != 1 {
+		t.Fatalf("p0 = %v", p)
+	}
+	if p := h.Percentile(1); p != 100 {
+		t.Fatalf("p100 = %v", p)
+	}
+	if got := h.FractionBelow(11); math.Abs(got-0.10) > 1e-12 {
+		t.Fatalf("FractionBelow(11) = %v", got)
+	}
+	if got := h.Mean(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("mean = %v", got)
+	}
+}
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram(1, 4)
+	if h.Percentile(0.5) != 0 || h.FractionBelow(1) != 0 || h.Mean() != 0 || h.Probability(0) != 0 {
+		t.Fatal("empty histogram stats not zero")
+	}
+}
+
+func TestHistogramAddDurationMs(t *testing.T) {
+	h := NewHistogram(8, 16)
+	h.AddDuration(1500 * sim.Microsecond)
+	if h.Counts[3] != 1 { // 1.5 ms → bin [1.5,2.0) with 0.5 ms bins
+		t.Fatalf("1.5ms landed in %v", h.Counts)
+	}
+}
+
+func TestHistogramASCII(t *testing.T) {
+	h := NewHistogram(2, 4)
+	h.Add(0.1)
+	h.Add(0.2)
+	h.Add(1.1)
+	h.Add(5) // overflow
+	s := h.ASCII(20)
+	if !strings.Contains(s, "#") || !strings.Contains(s, "overflow") {
+		t.Fatalf("ASCII rendering:\n%s", s)
+	}
+}
+
+func TestHistogramPanicsOnBadArgs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad histogram args accepted")
+		}
+	}()
+	NewHistogram(0, 10)
+}
+
+func TestReliability(t *testing.T) {
+	r := Reliability{Deadline: 500 * sim.Microsecond}
+	for i := 0; i < 99999; i++ {
+		r.Record(true, 400*sim.Microsecond)
+	}
+	r.Record(true, 600*sim.Microsecond) // one miss
+	if r.Offered != 100000 || r.Met != 99999 {
+		t.Fatalf("counts: %+v", r)
+	}
+	if math.Abs(r.Value()-0.99999) > 1e-12 {
+		t.Fatalf("reliability = %v", r.Value())
+	}
+	if math.Abs(r.Nines()-5) > 0.01 {
+		t.Fatalf("nines = %v", r.Nines())
+	}
+	if !r.MeetsURLLC() {
+		t.Fatal("99.999% must meet URLLC")
+	}
+	r.Record(false, 0)
+	if r.Lost != 1 || r.MeetsURLLC() {
+		t.Fatal("loss accounting wrong")
+	}
+}
+
+func TestReliabilityEdges(t *testing.T) {
+	r := Reliability{Deadline: sim.Millisecond}
+	if r.Value() != 0 || r.Nines() != 0 {
+		t.Fatal("empty reliability not zero")
+	}
+	r.Record(true, sim.Microsecond)
+	if r.Nines() != 9 {
+		t.Fatalf("perfect reliability nines = %v, want capped 9", r.Nines())
+	}
+	// Deadline boundary is inclusive.
+	r2 := Reliability{Deadline: sim.Millisecond}
+	r2.Record(true, sim.Millisecond)
+	if r2.Met != 1 {
+		t.Fatal("exact-deadline delivery must count")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	var a, b Accumulator
+	a.Add(4.65)
+	b.Add(484.2)
+	s := Table([]struct {
+		Label string
+		Acc   *Accumulator
+	}{{"SDAP", &a}, {"RLC-q", &b}})
+	if !strings.Contains(s, "SDAP") || !strings.Contains(s, "484.20") || !strings.Contains(s, "Mean") {
+		t.Fatalf("table:\n%s", s)
+	}
+}

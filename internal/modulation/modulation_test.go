@@ -1,0 +1,322 @@
+package modulation
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"urllcsim/internal/fec"
+	"urllcsim/internal/sim"
+)
+
+func TestSchemeBasics(t *testing.T) {
+	if QPSK.BitsPerSymbol() != 2 || QAM256.BitsPerSymbol() != 8 {
+		t.Fatal("Qm wrong")
+	}
+	if !QAM64.Valid() || Scheme(3).Valid() {
+		t.Fatal("Valid wrong")
+	}
+	if QPSK.String() != "QPSK" || QAM16.String() != "16QAM" {
+		t.Fatal("String wrong")
+	}
+}
+
+func TestQPSKMapping(t *testing.T) {
+	// TS 38.211: b=00 → (1+j)/√2, 01 → (1−j)/√2, 10 → (−1+j)/√2, 11 → (−1−j)/√2.
+	syms, err := Modulate(QPSK, []fec.Bit{0, 0, 0, 1, 1, 0, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 1 / math.Sqrt2
+	want := []complex128{complex(s, s), complex(s, -s), complex(-s, s), complex(-s, -s)}
+	for i := range want {
+		if math.Abs(real(syms[i])-real(want[i])) > 1e-12 || math.Abs(imag(syms[i])-imag(want[i])) > 1e-12 {
+			t.Fatalf("QPSK sym %d = %v, want %v", i, syms[i], want[i])
+		}
+	}
+}
+
+func Test16QAMCornerPoint(t *testing.T) {
+	// b=1010 → I=(1−2·1)(2−(1−2·1)) = −3, Q same → (−3−3j)/√10.
+	syms, err := Modulate(QAM16, []fec.Bit{1, 1, 1, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := -3 / math.Sqrt(10)
+	if math.Abs(real(syms[0])-want) > 1e-12 || math.Abs(imag(syms[0])-want) > 1e-12 {
+		t.Fatalf("16QAM(1111) = %v, want (%v,%v)", syms[0], want, want)
+	}
+}
+
+func TestUnitAverageEnergy(t *testing.T) {
+	for _, s := range []Scheme{QPSK, QAM16, QAM64, QAM256} {
+		if e := AverageEnergy(s); math.Abs(e-1) > 1e-9 {
+			t.Errorf("%v average energy = %v, want 1", s, e)
+		}
+	}
+}
+
+func TestConstellationsDistinct(t *testing.T) {
+	for _, s := range []Scheme{QPSK, QAM16, QAM64, QAM256} {
+		pts := cachedConstellation(s)
+		if len(pts) != 1<<uint(s.BitsPerSymbol()) {
+			t.Fatalf("%v has %d points", s, len(pts))
+		}
+		for i := range pts {
+			for j := i + 1; j < len(pts); j++ {
+				if pts[i] == pts[j] {
+					t.Fatalf("%v points %d and %d coincide", s, i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestGrayNeighbours(t *testing.T) {
+	// Gray property: nearest horizontal/vertical neighbours differ in one
+	// bit. Verify for 16QAM by brute force.
+	pts := cachedConstellation(QAM16)
+	d := 2 / math.Sqrt(10) // adjacent spacing
+	for a := range pts {
+		for b := range pts {
+			if a >= b {
+				continue
+			}
+			dist := math.Hypot(real(pts[a]-pts[b]), imag(pts[a]-pts[b]))
+			if math.Abs(dist-d) < 1e-9 {
+				if hamming(a, b) != 1 {
+					t.Fatalf("adjacent 16QAM labels %04b/%04b differ in %d bits", a, b, hamming(a, b))
+				}
+			}
+		}
+	}
+}
+
+func hamming(a, b int) int {
+	x := a ^ b
+	n := 0
+	for x != 0 {
+		n += x & 1
+		x >>= 1
+	}
+	return n
+}
+
+func TestModulateErrors(t *testing.T) {
+	if _, err := Modulate(QAM16, make([]fec.Bit, 5)); err == nil {
+		t.Fatal("non-multiple bit count accepted")
+	}
+	if _, err := Modulate(Scheme(5), nil); err == nil {
+		t.Fatal("invalid scheme accepted")
+	}
+	if _, err := Demodulate(Scheme(5), nil); err == nil {
+		t.Fatal("invalid scheme accepted by Demodulate")
+	}
+}
+
+func TestPropertyModulateDemodulateRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(42)
+	for _, s := range []Scheme{QPSK, QAM16, QAM64, QAM256} {
+		f := func(raw []byte) bool {
+			bs := make([]fec.Bit, (len(raw)/s.BitsPerSymbol())*s.BitsPerSymbol())
+			for i := range bs {
+				bs[i] = fec.Bit(raw[i]) & 1
+			}
+			syms, err := Modulate(s, bs)
+			if err != nil {
+				return false
+			}
+			got, err := Demodulate(s, syms)
+			if err != nil || len(got) != len(bs) {
+				return false
+			}
+			for i := range bs {
+				if got[i] != bs[i] {
+					return false
+				}
+			}
+			return true
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+			t.Fatalf("%v: %v", s, err)
+		}
+	}
+	_ = rng
+}
+
+func TestDemodulateWithNoise(t *testing.T) {
+	// Noise well below half the decision distance must not flip bits.
+	rng := sim.NewRNG(1)
+	bs := make([]fec.Bit, 6000)
+	for i := range bs {
+		bs[i] = fec.Bit(rng.Uint64()) & 1
+	}
+	syms, _ := Modulate(QAM64, bs)
+	for i := range syms {
+		syms[i] += complex(rng.Normal(0, 0.02), rng.Normal(0, 0.02))
+	}
+	got, _ := Demodulate(QAM64, syms)
+	for i := range bs {
+		if got[i] != bs[i] {
+			t.Fatalf("low noise flipped bit %d", i)
+		}
+	}
+}
+
+func TestMCSTable(t *testing.T) {
+	if len(MCSTable64) != 29 {
+		t.Fatalf("MCS table has %d rows, want 29", len(MCSTable64))
+	}
+	for i, m := range MCSTable64 {
+		if m.Index != i {
+			t.Fatalf("row %d has index %d", i, m.Index)
+		}
+		if m.Rate() <= 0 || m.Rate() >= 1 {
+			t.Fatalf("MCS %d rate %v out of range", i, m.Rate())
+		}
+	}
+	// Spectral efficiency is essentially non-decreasing. The real table has
+	// one deliberate dip at each modulation switch (e.g. MCS16 16QAM r=0.64
+	// → MCS17 64QAM r=0.43, 2.570 → 2.566): the lower rate buys coding
+	// robustness for the denser constellation. Allow that standard quirk.
+	prev := 0.0
+	for _, m := range MCSTable64 {
+		se := m.Rate() * float64(m.Scheme.BitsPerSymbol())
+		if se < prev-0.01 {
+			t.Fatalf("MCS %d efficiency %v below previous %v", m.Index, se, prev)
+		}
+		if se > prev {
+			prev = se
+		}
+	}
+	if _, err := MCSByIndex(29); err == nil {
+		t.Fatal("MCS 29 accepted")
+	}
+	if m, err := MCSByIndex(9); err != nil || m.Scheme != QPSK || m.RateX1024 != 679 {
+		t.Fatalf("MCS 9 = %+v, %v", m, err)
+	}
+}
+
+func TestPRBTable(t *testing.T) {
+	// The paper's testbed: n78, 0.5 ms slots (30 kHz); typical private-5G
+	// channels are 40–100 MHz.
+	n, err := PRBs(40, 30)
+	if err != nil || n != 106 {
+		t.Fatalf("PRBs(40,30) = %d, %v; want 106", n, err)
+	}
+	n, err = PRBs(100, 30)
+	if err != nil || n != 273 {
+		t.Fatalf("PRBs(100,30) = %d, %v; want 273", n, err)
+	}
+	if _, err := PRBs(17, 30); err == nil {
+		t.Fatal("unknown bandwidth accepted")
+	}
+}
+
+func TestTBSSmallAllocations(t *testing.T) {
+	mcs, _ := MCSByIndex(10) // 16QAM r=0.33
+	size, err := TBS(TBSParams{PRBs: 4, Symbols: 2, DMRSPerPRB: 6, Layers: 1, MCS: mcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 PRBs × (24−6)=18 REs × 4 bits × 0.332 ≈ 95.6 → quantised ≤ 96.
+	if size < 24 || size > 104 {
+		t.Fatalf("TBS = %d, want ≈96", size)
+	}
+	if size%8 != 0 {
+		t.Fatalf("TBS %d not byte aligned", size)
+	}
+}
+
+func TestTBSMonotonicInPRBs(t *testing.T) {
+	mcs, _ := MCSByIndex(15)
+	prev := 0
+	for prbs := 1; prbs <= 273; prbs += 4 {
+		size, err := TBS(TBSParams{PRBs: prbs, Symbols: 12, DMRSPerPRB: 12, Layers: 1, MCS: mcs})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if size < prev {
+			t.Fatalf("TBS not monotone at %d PRBs: %d < %d", prbs, size, prev)
+		}
+		prev = size
+	}
+}
+
+func TestTBSLargeBranch(t *testing.T) {
+	mcs, _ := MCSByIndex(28) // 64QAM r=0.926
+	size, err := TBS(TBSParams{PRBs: 273, Symbols: 12, DMRSPerPRB: 12, Layers: 4, MCS: mcs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 273×(144−12 capped at 156… here 132)×6×0.926×4 ≈ 0.8 Mbit.
+	if size < 500_000 || size > 1_200_000 {
+		t.Fatalf("large TBS = %d, out of plausible range", size)
+	}
+	if (size+24)%8 != 0 {
+		t.Fatalf("large TBS %d violates byte structure", size)
+	}
+}
+
+func TestTBSErrors(t *testing.T) {
+	mcs, _ := MCSByIndex(0)
+	if _, err := TBS(TBSParams{PRBs: 0, Symbols: 2, MCS: mcs}); err == nil {
+		t.Fatal("0 PRBs accepted")
+	}
+	if _, err := TBS(TBSParams{PRBs: 1, Symbols: 15, MCS: mcs}); err == nil {
+		t.Fatal("15 symbols accepted")
+	}
+	if _, err := TBS(TBSParams{PRBs: 1, Symbols: 2, DMRSPerPRB: 24, MCS: mcs}); err == nil {
+		t.Fatal("all-DMRS allocation accepted")
+	}
+}
+
+func TestSymbolsForBits(t *testing.T) {
+	mcs, _ := MCSByIndex(10)
+	// A 32-byte ping in a 106-PRB carrier needs very few symbols.
+	syms, err := SymbolsForBits(32*8, 106, mcs, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if syms < 1 || syms > 2 {
+		t.Fatalf("32B needs %d symbols, want 1–2", syms)
+	}
+	// An impossible payload must error.
+	if _, err := SymbolsForBits(10_000_000, 1, mcs, 12); err == nil {
+		t.Fatal("impossible payload accepted")
+	}
+}
+
+func TestSymbolsForBitsMonotone(t *testing.T) {
+	mcs, _ := MCSByIndex(5)
+	prev := 0
+	// MCS5 QPSK r=0.37 over 51 PRBs tops out near 5.9 kbit in a full slot.
+	for _, bits := range []int{64, 256, 1024, 4096, 5500} {
+		syms, err := SymbolsForBits(bits, 51, mcs, 12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if syms < prev {
+			t.Fatalf("symbols not monotone: %d bits → %d", bits, syms)
+		}
+		prev = syms
+	}
+}
+
+func BenchmarkModulate64QAM(b *testing.B) {
+	bs := make([]fec.Bit, 6144)
+	b.SetBytes(int64(len(bs) / 8))
+	for i := 0; i < b.N; i++ {
+		Modulate(QAM64, bs)
+	}
+}
+
+func BenchmarkDemodulate64QAM(b *testing.B) {
+	bs := make([]fec.Bit, 6144)
+	syms, _ := Modulate(QAM64, bs)
+	b.SetBytes(int64(len(bs) / 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Demodulate(QAM64, syms)
+	}
+}

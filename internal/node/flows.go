@@ -1,0 +1,310 @@
+package node
+
+import (
+	"urllcsim/internal/core"
+	"urllcsim/internal/metrics"
+	"urllcsim/internal/nr"
+	"urllcsim/internal/proc"
+	"urllcsim/internal/sched"
+	"urllcsim/internal/sim"
+	"urllcsim/internal/stack"
+)
+
+// rlcQ abbreviates the stack's queue entry type in this file.
+type rlcQ = stack.RLCQueued
+
+// rlcQueued wraps a DL packet context as an RLC queue entry. The EnqueuedAt
+// stamp survives radio-miss requeues so RLC-q keeps measuring from first
+// entry.
+func rlcQueued(p *dlPacket) rlcQ {
+	return rlcQ{ID: p.id, Data: p.data, EnqueuedAt: p.enqueued}
+}
+
+// sample draws a gNB layer processing time and records it for Table 2.
+func (s *System) sampleGNB(l proc.Layer) sim.Duration {
+	d := s.cfg.GNBProfile.Sample(l, s.cfg.NUEs, s.rng)
+	s.layerStats[l.String()].AddDuration(d)
+	return d
+}
+
+func (s *System) sampleUE(l proc.Layer) sim.Duration {
+	return s.cfg.UEProfile.Sample(l, 1, s.rng)
+}
+
+// LayerStats returns the Table 2 accumulators (gNB layers plus emergent
+// RLC-q).
+func (s *System) LayerStats() map[string]*metrics.Accumulator { return s.layerStats }
+
+// Counters returns the system-level event counters.
+func (s *System) Counters() Counters { return s.counters }
+
+// Results returns the per-packet outcomes recorded so far.
+func (s *System) Results() []Result { return s.results }
+
+// ---------------------------------------------------------------------------
+// gNB slot ticker: the once-per-slot scheduler.
+// ---------------------------------------------------------------------------
+
+func (s *System) scheduleTick(b sim.Time) {
+	fire := b.Add(-s.cfg.TickLead)
+	if fire < s.Eng.Now() {
+		fire = s.Eng.Now()
+	}
+	s.Eng.Schedule(fire, "gnb.tick", func() { s.tick(b) })
+}
+
+func (s *System) tick(b sim.Time) {
+	// Assemble the scheduler's view of the DL RLC queue.
+	var items []sched.DLItem
+	for _, q := range s.gnbRLC.Peek() {
+		items = append(items, sched.DLItem{ID: q.ID, UE: 0, Bytes: len(q.Data), EnqueuedAt: q.EnqueuedAt})
+	}
+	plan := s.sch.Tick(b, items)
+
+	if len(plan.DLPlanned) > 0 {
+		// The scheduler consumed these from the RLC queue now: the RLC-q
+		// waiting time of Table 2 ends at this instant.
+		taken := s.gnbRLC.DequeueIDs(plan.DLPlanned)
+		for _, q := range taken {
+			wait := b.Sub(q.EnqueuedAt)
+			s.layerStats["RLC-q"].AddDuration(wait)
+			if p := s.dlItems[q.ID]; p != nil {
+				p.bd.Add("⑨ RLC queue (SCHE wait)", core.Protocol, q.EnqueuedAt, wait)
+			}
+		}
+		s.launchDL(b, plan, taken)
+	}
+	for _, g := range plan.ULGrants {
+		s.counters.GrantsIssued++
+		s.deliverGrant(plan.TargetDL, g)
+	}
+	s.scheduleTick(s.cfg.Grid.NextSchedBoundary(b))
+}
+
+// ---------------------------------------------------------------------------
+// Downlink flow: UPF → gNB stack → RLC queue → scheduler → PHY/radio → UE.
+// ---------------------------------------------------------------------------
+
+// OfferDL injects one DL application packet at the UPF at time at. The
+// result callback fires on delivery or loss.
+func (s *System) OfferDL(at sim.Time, payload []byte) int {
+	id := s.nextID
+	s.nextID++
+	p := &dlPacket{id: id, data: payload, offered: at, bd: &core.Breakdown{}}
+	s.dlItems[id] = p
+	s.Eng.Schedule(at, "dl.offer", func() {
+		// UPF encapsulation and N3 forwarding.
+		p.bd.Add("UPF→gNB (GTP-U)", core.Processing, at, s.cfg.CoreLatency)
+		arrive := at.Add(s.cfg.CoreLatency)
+		s.Eng.Schedule(arrive, "dl.gnb.down", func() {
+			// gNB SDAP↓ / PDCP↓ / RLC↓ processing (⑧ in Fig. 3).
+			d := s.sampleGNB(proc.LayerSDAP) + s.sampleGNB(proc.LayerPDCP) + s.sampleGNB(proc.LayerRLC)
+			p.bd.Add("⑧ gNB SDAP↓", core.Processing, arrive, d)
+			enq := arrive.Add(d)
+			s.Eng.Schedule(enq, "dl.enqueue", func() {
+				p.enqueued = enq
+				s.gnbRLC.Enqueue(rlcQueued(p))
+			})
+		})
+	})
+	return id
+}
+
+// launchDL starts the MAC→PHY→radio pipeline for the packets taken at
+// boundary b, targeting plan.TargetDL.
+func (s *System) launchDL(b sim.Time, plan sched.Plan, taken []rlcQ) {
+	if len(taken) == 0 {
+		return
+	}
+	target := plan.TargetDL
+	now := s.Eng.Now() // b − TickLead when a lead is configured
+	// MAC + PHY processing, then sample submission to the radio head. All
+	// of it must complete before the slot goes on air (§4's
+	// interdependency).
+	macD := s.sampleGNB(proc.LayerMAC)
+	phyD := s.sampleGNB(proc.LayerPHY)
+	var submitD sim.Duration
+	if s.cfg.GNBRadio != nil {
+		submitD = s.cfg.GNBRadio.Bus.SubmitLatency(s.cfg.GNBRadio.SamplesPerSlot(s.cfg.Grid.Mu), s.rng) +
+			sim.Duration(s.cfg.GNBRadio.ConvertUs*1000)
+	}
+	ready := now.Add(macD + phyD + submitD)
+	for _, q := range taken {
+		p := s.dlItems[q.ID]
+		if p == nil {
+			continue
+		}
+		p.bd.Add("gNB MAC+PHY", core.Processing, now, macD+phyD)
+		p.bd.Add("gNB→RH submit", core.Radio, now.Add(macD+phyD), submitD)
+	}
+
+	if ready > target {
+		// The radio was not ready when the slot started: the transmission
+		// is corrupted (§4). Re-enqueue everything for the next boundary.
+		s.counters.RadioMisses++
+		s.Eng.Schedule(ready, "dl.radiomiss", func() {
+			for _, q := range taken {
+				if p := s.dlItems[q.ID]; p != nil {
+					p.attempts++
+					if p.attempts >= s.cfg.HARQMaxTx+2 {
+						s.finishDL(p, ready, false)
+						continue
+					}
+					p.bd.Add("radio miss → requeue", core.Radio, target, ready.Sub(target))
+					s.gnbRLC.Enqueue(rlcQueued(p)) // keeps original EnqueuedAt
+				}
+			}
+		})
+		return
+	}
+
+	// Build one transport block carrying all taken SDUs through the real
+	// data plane, transmit at the slot's data region.
+	s.Eng.Schedule(target, "dl.onair", func() {
+		s.transmitDL(target, taken)
+	})
+}
+
+func (s *System) transmitDL(target sim.Time, taken []rlcQ) {
+	sym := s.cfg.Grid.Mu.SymbolDuration()
+	ctrl := 2 * sym
+	var rlcPDUs [][]byte
+	var ids []int
+	tbBytes := 0
+	for _, q := range taken {
+		p := s.dlItems[q.ID]
+		if p == nil {
+			continue
+		}
+		// Real data plane: SDAP → PDCP → RLC encode now (bytes prepared
+		// during the MAC/PHY processing charged above).
+		sdap := s.gnbSDAP.Encap(p.data)
+		pdcpPDU, err := s.gnbPDCP.Protect(sdap)
+		if err != nil {
+			s.finishDL(p, target, false)
+			continue
+		}
+		segs, err := s.gnbRLC.Segment(pdcpPDU, 1<<14)
+		if err != nil {
+			s.finishDL(p, target, false)
+			continue
+		}
+		rlcPDUs = append(rlcPDUs, segs...)
+		for _, seg := range segs {
+			tbBytes += len(seg) + 3
+		}
+		ids = append(ids, q.ID)
+	}
+	if len(rlcPDUs) == 0 {
+		return
+	}
+	tb, err := s.gnbMAC.BuildTB(rlcPDUs, tbBytes)
+	if err != nil {
+		for _, id := range ids {
+			s.finishDL(s.dlItems[id], target, false)
+		}
+		return
+	}
+	air, err := s.phyDL.AirTime(len(tb), s.cfg.PRBs, sym)
+	if err != nil {
+		air = sym
+	}
+	onAirEnd := target.Add(ctrl + air)
+	rx, txErr := s.phyDL.Transmit(tb, target)
+	s.Eng.Schedule(onAirEnd, "dl.rx", func() {
+		if txErr != nil {
+			s.counters.PHYLosses++
+			// When the feedback loop is modelled, the gNB learns of the
+			// failure only after the UE's NACK travels back: UE decode,
+			// next UL opportunity, one symbol of PUCCH, radio up, gNB PHY.
+			requeueAt := onAirEnd
+			if s.cfg.HARQFeedback {
+				decode := s.sampleUE(proc.LayerPHY)
+				nackStart, ok := s.cfg.ULGrid.NextKindStart(onAirEnd.Add(decode), nr.SymUL)
+				if ok {
+					nackEnd := nackStart.Add(s.cfg.ULGrid.Mu.SymbolDuration())
+					var radioD sim.Duration
+					if s.cfg.GNBRadio != nil {
+						radioD = s.cfg.GNBRadio.RxLatency(s.cfg.Grid.Mu, s.rng)
+					}
+					requeueAt = nackEnd.Add(radioD + s.sampleGNB(proc.LayerPHY))
+				}
+			}
+			s.Eng.Schedule(requeueAt, "dl.harq", func() {
+				for _, id := range ids {
+					p := s.dlItems[id]
+					if p == nil {
+						continue
+					}
+					p.attempts++
+					if p.attempts >= s.cfg.HARQMaxTx {
+						s.finishDL(p, requeueAt, false)
+					} else {
+						p.bd.Add("HARQ retransmission", core.Protocol, target, requeueAt.Sub(target))
+						s.gnbRLC.Enqueue(rlcQueued(p))
+					}
+				}
+			})
+			return
+		}
+		for _, id := range ids {
+			if p := s.dlItems[id]; p != nil {
+				p.bd.Add("⑩ DL data on air", core.Protocol, target, onAirEnd.Sub(target))
+			}
+		}
+		s.ueReceiveDL(onAirEnd, rx, ids)
+	})
+}
+
+// ueReceiveDL runs the UE receive chain (⑪ PHY↑…APP↑).
+func (s *System) ueReceiveDL(at sim.Time, tb []byte, ids []int) {
+	d := s.sampleUE(proc.LayerPHY) + s.sampleUE(proc.LayerMAC) +
+		s.sampleUE(proc.LayerRLC) + s.sampleUE(proc.LayerPDCP) + s.sampleUE(proc.LayerSDAP)
+	done := at.Add(d)
+	s.Eng.Schedule(done, "dl.ue.up", func() {
+		payloads, err := s.ueMACRx.ParseTB(tb)
+		if err != nil {
+			for _, id := range ids {
+				s.finishDL(s.dlItems[id], done, false)
+			}
+			return
+		}
+		var delivered [][]byte
+		for _, pl := range payloads {
+			sdu, err := s.ueRLCRx.Receive(pl)
+			if err != nil || sdu == nil {
+				continue
+			}
+			plain, err := s.uePDCPRx.Unprotect(sdu)
+			if err != nil {
+				continue
+			}
+			app, err := s.ueSDAPRx.Decap(plain)
+			if err != nil {
+				continue
+			}
+			delivered = append(delivered, app)
+		}
+		for i, id := range ids {
+			p := s.dlItems[id]
+			if p == nil {
+				continue
+			}
+			ok := i < len(delivered) && len(delivered[i]) == len(p.data)
+			p.bd.Add("⑪ UE PHY↑…APP↑", core.Processing, at, d)
+			s.finishDL(p, done, ok)
+		}
+	})
+}
+
+func (s *System) finishDL(p *dlPacket, at sim.Time, ok bool) {
+	if p == nil || s.done[p.id] {
+		return
+	}
+	s.done[p.id] = true
+	delete(s.dlItems, p.id)
+	s.results = append(s.results, Result{
+		ID: p.id, Uplink: false, Delivered: ok,
+		Latency: at.Sub(p.offered), Breakdown: *p.bd, Attempts: p.attempts + 1,
+	})
+}

@@ -1,0 +1,103 @@
+package node
+
+import (
+	"testing"
+
+	"urllcsim/internal/sim"
+)
+
+func runPings(t *testing.T, grantFree bool, n int, turnaround sim.Duration) []PingResult {
+	t.Helper()
+	cfg := testbedConfig(t, grantFree, 31)
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	period := cfg.Grid.Period()
+	rng := sim.NewRNG(99)
+	for i := 0; i < n; i++ {
+		at := sim.Time(int64(i) * int64(period)).Add(rng.UniformDuration(0, period))
+		if s.OfferPing(at, 32, turnaround) < 0 {
+			t.Fatal("OfferPing failed")
+		}
+	}
+	s.Eng.Run(sim.Time(int64(n+60) * int64(period)))
+	return s.PingResults()
+}
+
+func TestPingRoundTrips(t *testing.T) {
+	prs := runPings(t, false, 50, 100*sim.Microsecond)
+	if len(prs) != 50 {
+		t.Fatalf("got %d ping results", len(prs))
+	}
+	for _, p := range prs {
+		if !p.Delivered {
+			t.Fatalf("ping %d lost", p.ID)
+		}
+		if p.RTT != p.ULLatency+100*sim.Microsecond+p.DLLatency {
+			t.Fatalf("RTT %v ≠ UL %v + 100µs + DL %v", p.RTT, p.ULLatency, p.DLLatency)
+		}
+		// §7 shapes hold within the round trip too.
+		if p.ULLatency <= p.DLLatency {
+			t.Fatalf("ping %d: UL %v not above DL %v", p.ID, p.ULLatency, p.DLLatency)
+		}
+		if p.RTT < 2*sim.Millisecond || p.RTT > 15*sim.Millisecond {
+			t.Fatalf("ping %d RTT %v implausible", p.ID, p.RTT)
+		}
+	}
+}
+
+func TestPingGrantFreeFaster(t *testing.T) {
+	mean := func(gf bool) float64 {
+		var sum float64
+		for _, p := range runPings(t, gf, 40, 0) {
+			if !p.Delivered {
+				t.Fatal("ping lost")
+			}
+			sum += float64(p.RTT)
+		}
+		return sum / 40
+	}
+	gb, gf := mean(false), mean(true)
+	if gf >= gb-1e6 { // at least 1ms apart (one TDD period is 2ms)
+		t.Fatalf("grant-free RTT %.2fms not well below grant-based %.2fms", gf/1e6, gb/1e6)
+	}
+}
+
+func TestPingTurnaroundAdds(t *testing.T) {
+	a := runPings(t, true, 20, 0)
+	b := runPings(t, true, 20, sim.Millisecond)
+	var sa, sb float64
+	for i := range a {
+		sa += float64(a[i].RTT)
+		sb += float64(b[i].RTT)
+	}
+	// 1ms of server time adds ≈1ms to the RTT (partially absorbed by the
+	// reply's slot alignment, so allow 0.5–1.5ms).
+	delta := (sb - sa) / 20 / 1e6
+	if delta < 0.5 || delta > 1.6 {
+		t.Fatalf("turnaround delta = %.2fms, want ≈1ms", delta)
+	}
+}
+
+func TestPingLostULReported(t *testing.T) {
+	cfg := testbedConfig(t, true, 32)
+	cfg.HARQMaxTx = 1
+	cfg.Channel = badChannel{}
+	s, err := NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.OfferPing(0, 32, 0)
+	s.Eng.Run(sim.Time(100_000_000))
+	prs := s.PingResults()
+	if len(prs) != 1 || prs[0].Delivered {
+		t.Fatalf("lost ping not reported: %+v", prs)
+	}
+}
+
+// badChannel forces every transmission to fail.
+type badChannel struct{}
+
+func (badChannel) SNRdB(sim.Time) float64 { return -40 }
+func (badChannel) Name() string           { return "bad" }

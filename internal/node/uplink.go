@@ -1,0 +1,247 @@
+package node
+
+import (
+	"bytes"
+
+	"urllcsim/internal/core"
+	"urllcsim/internal/nr"
+	"urllcsim/internal/proc"
+	"urllcsim/internal/sched"
+	"urllcsim/internal/sim"
+)
+
+// ulKind is the symbol kind SRs and UL data need.
+const ulKind = nr.SymUL
+
+// ulPacket tracks one UL packet through SR/grant/transmission.
+type ulPacket struct {
+	id       int
+	data     []byte
+	offered  sim.Time
+	ready    sim.Time // UE stack done, data in UE RLC queue
+	srRecvAt sim.Time // gNB finished decoding this packet's SR
+	attempts int
+	bd       *core.Breakdown
+}
+
+// OfferUL injects one UL application packet at the UE at time at.
+func (s *System) OfferUL(at sim.Time, payload []byte) int {
+	id := s.nextID
+	s.nextID++
+	p := &ulPacket{id: id, data: payload, offered: at, bd: &core.Breakdown{}}
+	s.Eng.Schedule(at, "ul.offer", func() {
+		// ① UE APP↓: SDAP/PDCP/RLC processing before the MAC can act.
+		d := s.sampleUE(proc.LayerSDAP) + s.sampleUE(proc.LayerPDCP) + s.sampleUE(proc.LayerRLC)
+		p.bd.Add("① UE APP↓", core.Processing, at, d)
+		p.ready = at.Add(d)
+		s.Eng.Schedule(p.ready, "ul.ready", func() {
+			if s.cfg.GrantFree {
+				s.ulTransmitOnGrantFree(p)
+			} else {
+				s.ulSendSR(p)
+			}
+		})
+	})
+	return id
+}
+
+// ulSendSR transmits the scheduling request in the next UL opportunity
+// (② in Fig. 3; SR is one bit in one symbol, paper footnote 2).
+func (s *System) ulSendSR(p *ulPacket) {
+	sym := s.cfg.ULGrid.Mu.SymbolDuration()
+	srStart, ok := s.cfg.ULGrid.NextKindStart(p.ready, ulKind)
+	if !ok {
+		s.finishUL(p, p.ready, false)
+		return
+	}
+	p.bd.Add("② wait for UL slot + SR", core.Protocol, p.ready, srStart.Sub(p.ready)+sym)
+	s.counters.SRsSent++
+	srEnd := srStart.Add(sym)
+	// ③ gNB radio + PHY decode of the SR.
+	var radioD sim.Duration
+	if s.cfg.GNBRadio != nil {
+		radioD = s.cfg.GNBRadio.RxLatency(s.cfg.Grid.Mu, s.rng)
+	}
+	phyD := s.sampleGNB(proc.LayerPHY)
+	recvAt := srEnd.Add(radioD + phyD)
+	p.bd.Add("③ gNB SR decode", core.Radio, srEnd, radioD)
+	p.bd.Add("③ gNB PHY", core.Processing, srEnd.Add(radioD), phyD)
+	s.Eng.Schedule(recvAt, "ul.sr.recv", func() {
+		p.srRecvAt = recvAt
+		s.sch.OnSR(sched.SRRequest{UE: 0, RecvAt: recvAt, Bytes: len(p.data) + 64})
+		s.pendingSRPackets = append(s.pendingSRPackets, p)
+	})
+}
+
+// deliverGrant carries an issued grant to the UE on the DL control of slot
+// targetDL (⑤ in Fig. 3) and arms the granted transmission.
+func (s *System) deliverGrant(targetDL sim.Time, g sched.Grant) {
+	if len(s.pendingSRPackets) == 0 {
+		return
+	}
+	p := s.pendingSRPackets[0]
+	s.pendingSRPackets = s.pendingSRPackets[1:]
+	sym := s.cfg.Grid.Mu.SymbolDuration()
+	ctrlEnd := targetDL.Add(2 * sym)
+	// ④/⑤: from SR reception to the grant's control symbols landing at the
+	// UE — waiting for the scheduling instant plus the grant on air. All
+	// protocol latency; the UE's grant decode is processing.
+	p.bd.Add("④⑤ UL grant (wait+ctrl)", core.Protocol, p.srRecvAt, ctrlEnd.Sub(p.srRecvAt))
+	decode := s.sampleUE(proc.LayerMAC)
+	haveGrant := ctrlEnd.Add(decode)
+	p.bd.Add("⑥ UE grant decode", core.Processing, ctrlEnd, decode)
+	s.Eng.Schedule(haveGrant, "ul.grant", func() {
+		s.ulTransmitAt(p, g.SlotStart)
+	})
+}
+
+// ulTransmitOnGrantFree uses the standing configured grant: the next UL
+// slot after the UE's preparation lead.
+func (s *System) ulTransmitOnGrantFree(p *ulPacket) {
+	lead := s.sampleUE(proc.LayerMAC) + s.sampleUE(proc.LayerPHY)
+	g, ok := s.sch.ConfiguredGrant(0, p.ready.Add(lead))
+	if !ok {
+		s.finishUL(p, p.ready, false)
+		return
+	}
+	p.bd.Add("UE MAC+PHY prep", core.Processing, p.ready, lead)
+	s.ulTransmitAt(p, g.SlotStart)
+}
+
+// ulTransmitAt performs the UL data transmission in the UL region of the
+// slot starting at slotStart (⑥→⑦ in Fig. 3).
+func (s *System) ulTransmitAt(p *ulPacket, slotStart sim.Time) {
+	sym := s.cfg.ULGrid.Mu.SymbolDuration()
+	if now := s.Eng.Now(); slotStart < now {
+		// The granted slot already passed (pathological margins): fall
+		// forward to the next UL opportunity.
+		if g, ok := s.sch.ConfiguredGrant(0, now); ok {
+			slotStart = g.SlotStart
+		} else {
+			s.finishUL(p, now, false)
+			return
+		}
+	}
+	ulStart, ulSyms := s.sch.ULSymbolsOfSlot(slotStart)
+	if ulSyms == 0 {
+		s.finishUL(p, slotStart, false)
+		return
+	}
+	// Real data plane, prepared before the slot.
+	sdap := s.ueSDAP.Encap(p.data)
+	pdcpPDU, err := s.uePDCP.Protect(sdap)
+	if err != nil {
+		s.finishUL(p, slotStart, false)
+		return
+	}
+	segs, err := s.ueRLC.Segment(pdcpPDU, 1<<14)
+	if err != nil {
+		s.finishUL(p, slotStart, false)
+		return
+	}
+	tbBytes := 0
+	for _, seg := range segs {
+		tbBytes += len(seg) + 3
+	}
+	tb, err := s.ueMAC.BuildTB(segs, tbBytes)
+	if err != nil {
+		s.finishUL(p, slotStart, false)
+		return
+	}
+	air, err := s.phyUL.AirTime(len(tb), s.cfg.PRBs, sym)
+	if err != nil {
+		air = sym
+	}
+	if air > sim.Duration(ulSyms)*sym {
+		air = sim.Duration(ulSyms) * sym
+	}
+	now := s.Eng.Now()
+	if ulStart > now {
+		p.bd.Add("⑥ wait for granted UL slot", core.Protocol, now, ulStart.Sub(now))
+	}
+	onAirEnd := ulStart.Add(air)
+	rx, txErr := s.phyUL.Transmit(tb, ulStart)
+	s.Eng.Schedule(onAirEnd, "ul.rx", func() {
+		if txErr != nil {
+			s.counters.PHYLosses++
+			p.attempts++
+			if p.attempts >= s.cfg.HARQMaxTx {
+				s.finishUL(p, onAirEnd, false)
+				return
+			}
+			// HARQ: retransmit in the next UL opportunity (grant-free) or
+			// after a fresh SR (grant-based).
+			p.bd.Add("HARQ retransmission", core.Protocol, ulStart, air)
+			p.ready = onAirEnd
+			if s.cfg.GrantFree {
+				s.ulTransmitOnGrantFree(p)
+			} else {
+				s.ulSendSR(p)
+			}
+			return
+		}
+		p.bd.Add("⑥ UL data on air", core.Protocol, ulStart, air)
+		s.gnbReceiveUL(onAirEnd, rx, p)
+	})
+}
+
+// gnbReceiveUL runs ⑦: radio up, PHY decode, MAC↑…SDAP↑, GTP-U to the UPF.
+func (s *System) gnbReceiveUL(at sim.Time, tb []byte, p *ulPacket) {
+	var radioD sim.Duration
+	if s.cfg.GNBRadio != nil {
+		radioD = s.cfg.GNBRadio.RxLatency(s.cfg.Grid.Mu, s.rng)
+	}
+	p.bd.Add("⑦ RH→gNB samples", core.Radio, at, radioD)
+	procD := s.sampleGNB(proc.LayerPHY) + s.sampleGNB(proc.LayerMAC) +
+		s.sampleGNB(proc.LayerRLC) + s.sampleGNB(proc.LayerPDCP) + s.sampleGNB(proc.LayerSDAP)
+	p.bd.Add("⑦ gNB PHY↑…SDAP↑", core.Processing, at.Add(radioD), procD)
+	done := at.Add(radioD + procD + s.cfg.CoreLatency)
+	p.bd.Add("gNB→UPF (GTP-U)", core.Processing, at.Add(radioD+procD), s.cfg.CoreLatency)
+	s.Eng.Schedule(done, "ul.deliver", func() {
+		payloads, err := s.gnbMACRx.ParseTB(tb)
+		if err != nil {
+			s.finishUL(p, done, false)
+			return
+		}
+		ok := false
+		for _, pl := range payloads {
+			sdu, err := s.gnbRLCRx.Receive(pl)
+			if err != nil || sdu == nil {
+				continue
+			}
+			plain, err := s.gnbPDCPRx.Unprotect(sdu)
+			if err != nil {
+				continue
+			}
+			app, err := s.gnbSDAPRx.Decap(plain)
+			if err != nil {
+				continue
+			}
+			// Through the tunnel: gNB encapsulates, UPF decapsulates.
+			gtpu, err := s.gnbTun.EncapUL(app)
+			if err != nil {
+				continue
+			}
+			ip, err := s.upf.DecapUL(gtpu)
+			if err != nil {
+				continue
+			}
+			if bytes.Equal(ip, p.data) {
+				ok = true
+			}
+		}
+		s.finishUL(p, done, ok)
+	})
+}
+
+func (s *System) finishUL(p *ulPacket, at sim.Time, ok bool) {
+	if p == nil || s.done[p.id] {
+		return
+	}
+	s.done[p.id] = true
+	s.results = append(s.results, Result{
+		ID: p.id, Uplink: true, Delivered: ok,
+		Latency: at.Sub(p.offered), Breakdown: *p.bd, Attempts: p.attempts + 1,
+	})
+	s.onULDelivered(p.id, at, ok)
+}

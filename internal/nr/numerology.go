@@ -1,0 +1,178 @@
+// Package nr models the 5G New Radio frame structure: numerologies,
+// frequency bands, duplexing modes, TDD patterns (Common Configuration,
+// Slot Format, Mini-slot) and the symbol-level timeline ("grid") that the
+// latency analyses in internal/core interrogate.
+//
+// The package follows TS 38.211 (frame structure), TS 38.331 (the
+// tdd-UL-DL-ConfigurationCommon IE whose period set the paper cites) and
+// TS 38.213 §11.1.1 (slot formats). Where the full standard tables are
+// impractical to embed, a documented subset sufficient for every
+// configuration the paper analyses is provided.
+package nr
+
+import (
+	"fmt"
+
+	"urllcsim/internal/sim"
+)
+
+// Numerology is the 5G NR numerology µ. The subcarrier spacing is
+// 15 kHz · 2^µ and the slot duration is 1 ms / 2^µ (TS 38.211 §4.3.2).
+type Numerology int
+
+// The seven numerologies of TS 38.211. µ0–µ2 are FR1 (sub-6 GHz), µ2–µ6 are
+// FR2 (mmWave); µ5 and µ6 arrive with FR2-2 (52.6–71 GHz) in Release 17.
+const (
+	Mu0 Numerology = 0 // 15 kHz, 1 ms slots
+	Mu1 Numerology = 1 // 30 kHz, 0.5 ms slots
+	Mu2 Numerology = 2 // 60 kHz, 0.25 ms slots
+	Mu3 Numerology = 3 // 120 kHz, 125 µs slots
+	Mu4 Numerology = 4 // 240 kHz, 62.5 µs slots
+	Mu5 Numerology = 5 // 480 kHz, 31.25 µs slots
+	Mu6 Numerology = 6 // 960 kHz, 15.625 µs slots — the paper's "as low as 15.625 µs"
+)
+
+// SymbolsPerSlot is fixed at 14 for the normal cyclic prefix (TS 38.211).
+const SymbolsPerSlot = 14
+
+// Valid reports whether µ is one of the defined numerologies.
+func (m Numerology) Valid() bool { return m >= Mu0 && m <= Mu6 }
+
+// SCSkHz returns the subcarrier spacing in kHz.
+func (m Numerology) SCSkHz() int { return 15 << uint(m) }
+
+// SlotDuration returns the slot length (1 ms / 2^µ).
+func (m Numerology) SlotDuration() sim.Duration {
+	return sim.Millisecond >> uint(m)
+}
+
+// SlotsPerSubframe returns 2^µ (a subframe is 1 ms).
+func (m Numerology) SlotsPerSubframe() int { return 1 << uint(m) }
+
+// SlotsPerFrame returns the slots in a 10 ms radio frame.
+func (m Numerology) SlotsPerFrame() int { return 10 << uint(m) }
+
+// SymbolDuration returns the *average* OFDM symbol duration (slot/14). Exact
+// per-symbol durations differ by a fraction of a sample because the first
+// symbol of each half-subframe carries a longer cyclic prefix; the grid
+// computes boundaries with exact rational arithmetic so no drift accumulates,
+// and the sub-symbol CP asymmetry is irrelevant at the latencies studied.
+func (m Numerology) SymbolDuration() sim.Duration {
+	return m.SlotDuration() / SymbolsPerSlot
+}
+
+// SupportedIn reports whether the numerology may be configured in the given
+// frequency range (TR 38.913 / TS 38.211: µ0–µ2 in FR1, µ2–µ6 in FR2).
+func (m Numerology) SupportedIn(fr FrequencyRange) bool {
+	switch fr {
+	case FR1:
+		return m >= Mu0 && m <= Mu2
+	case FR2:
+		return m >= Mu2 && m <= Mu6
+	default:
+		return false
+	}
+}
+
+func (m Numerology) String() string {
+	if !m.Valid() {
+		return fmt.Sprintf("µ%d(invalid)", int(m))
+	}
+	return fmt.Sprintf("µ%d(%dkHz)", int(m), m.SCSkHz())
+}
+
+// FrequencyRange distinguishes sub-6 GHz (FR1) from mmWave (FR2).
+type FrequencyRange int
+
+const (
+	FR1 FrequencyRange = 1 // 410 MHz – 7.125 GHz
+	FR2 FrequencyRange = 2 // 24.25 – 52.6 GHz (FR2-1)
+)
+
+func (fr FrequencyRange) String() string {
+	switch fr {
+	case FR1:
+		return "FR1"
+	case FR2:
+		return "FR2"
+	default:
+		return fmt.Sprintf("FR%d(invalid)", int(fr))
+	}
+}
+
+// Duplex is the duplexing mode of a band.
+type Duplex int
+
+const (
+	TDD Duplex = iota // time-division: UL and DL share the carrier
+	FDD               // frequency-division: paired UL/DL carriers
+	SDL               // supplementary downlink
+	SUL               // supplementary uplink
+)
+
+func (d Duplex) String() string {
+	switch d {
+	case TDD:
+		return "TDD"
+	case FDD:
+		return "FDD"
+	case SDL:
+		return "SDL"
+	case SUL:
+		return "SUL"
+	default:
+		return "duplex(invalid)"
+	}
+}
+
+// Band describes an NR operating band (TS 38.101-1/-2 subset).
+type Band struct {
+	Name    string
+	FR      FrequencyRange
+	Duplex  Duplex
+	LowMHz  float64 // DL low edge
+	HighMHz float64 // DL high edge
+}
+
+// Bands is a subset of the TS 38.101 band tables covering every band class
+// the paper's argument touches: FDD bands (all below 2.6 GHz — the paper's
+// point that private 5G cannot use FDD), the n78/n79 TDD mid-bands used by
+// private deployments and the paper's own testbed (n78), and FR2 bands.
+var Bands = []Band{
+	{"n1", FR1, FDD, 2110, 2170},
+	{"n3", FR1, FDD, 1805, 1880},
+	{"n7", FR1, FDD, 2620, 2690},
+	{"n28", FR1, FDD, 758, 803},
+	{"n40", FR1, TDD, 2300, 2400},
+	{"n41", FR1, TDD, 2496, 2690},
+	{"n77", FR1, TDD, 3300, 4200},
+	{"n78", FR1, TDD, 3300, 3800}, // the paper's testbed band
+	{"n79", FR1, TDD, 4400, 5000},
+	{"n257", FR2, TDD, 26500, 29500},
+	{"n258", FR2, TDD, 24250, 27500},
+	{"n260", FR2, TDD, 37000, 40000},
+	{"n261", FR2, TDD, 27500, 28350},
+}
+
+// BandByName looks a band up by its "nXX" name.
+func BandByName(name string) (Band, bool) {
+	for _, b := range Bands {
+		if b.Name == name {
+			return b, true
+		}
+	}
+	return Band{}, false
+}
+
+// FDDAvailable reports whether any FDD band exists at or above the given
+// frequency. In terrestrial 5G, FDD is only specified below ≈2.69 GHz; this
+// is the constraint that rules FDD out for private mid-band deployments (§2,
+// §9 of the paper).
+func FDDAvailable(mhz float64) bool {
+	for _, b := range Bands {
+		if b.Duplex == FDD && mhz >= b.LowMHz && mhz <= b.HighMHz {
+			return true
+		}
+	}
+	return false
+}

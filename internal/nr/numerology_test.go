@@ -1,0 +1,117 @@
+package nr
+
+import (
+	"testing"
+
+	"urllcsim/internal/sim"
+)
+
+func TestNumerologySCS(t *testing.T) {
+	want := map[Numerology]int{Mu0: 15, Mu1: 30, Mu2: 60, Mu3: 120, Mu4: 240, Mu5: 480, Mu6: 960}
+	for mu, scs := range want {
+		if got := mu.SCSkHz(); got != scs {
+			t.Errorf("%v SCS = %d, want %d", mu, got, scs)
+		}
+	}
+}
+
+func TestNumerologySlotDuration(t *testing.T) {
+	cases := []struct {
+		mu   Numerology
+		want sim.Duration
+	}{
+		{Mu0, sim.Millisecond},
+		{Mu1, 500 * sim.Microsecond},
+		{Mu2, 250 * sim.Microsecond},
+		{Mu3, 125 * sim.Microsecond},
+		{Mu6, 15625 * sim.Nanosecond}, // the paper's "as low as 15.625 µs"
+	}
+	for _, c := range cases {
+		if got := c.mu.SlotDuration(); got != c.want {
+			t.Errorf("%v slot duration = %v, want %v", c.mu, got, c.want)
+		}
+	}
+}
+
+func TestNumerologySlotsPerFrame(t *testing.T) {
+	if got := Mu0.SlotsPerFrame(); got != 10 {
+		t.Errorf("µ0 slots/frame = %d, want 10", got)
+	}
+	if got := Mu3.SlotsPerFrame(); got != 80 {
+		t.Errorf("µ3 slots/frame = %d, want 80", got)
+	}
+	if got := Mu1.SlotsPerSubframe(); got != 2 {
+		t.Errorf("µ1 slots/subframe = %d, want 2", got)
+	}
+}
+
+func TestNumerologyFrequencyRanges(t *testing.T) {
+	// TR 38.913: µ0–µ2 FR1; µ2–µ6 FR2. µ2 lives in both.
+	if !Mu0.SupportedIn(FR1) || Mu0.SupportedIn(FR2) {
+		t.Error("µ0 must be FR1-only")
+	}
+	if !Mu2.SupportedIn(FR1) || !Mu2.SupportedIn(FR2) {
+		t.Error("µ2 must be supported in both ranges")
+	}
+	if Mu3.SupportedIn(FR1) || !Mu3.SupportedIn(FR2) {
+		t.Error("µ3 must be FR2-only")
+	}
+	if Numerology(9).Valid() {
+		t.Error("µ9 must be invalid")
+	}
+}
+
+func TestPaperMinimumFR1Slot(t *testing.T) {
+	// §1: "5G specifications limit the minimum time slot duration to 0.25ms"
+	// in sub-6 GHz — the shortest FR1 slot must be µ2's 0.25 ms.
+	min := sim.Duration(1 << 62)
+	for mu := Mu0; mu <= Mu6; mu++ {
+		if mu.SupportedIn(FR1) && mu.SlotDuration() < min {
+			min = mu.SlotDuration()
+		}
+	}
+	if min != 250*sim.Microsecond {
+		t.Fatalf("min FR1 slot = %v, want 0.25ms", min)
+	}
+}
+
+func TestBandLookup(t *testing.T) {
+	b, ok := BandByName("n78")
+	if !ok {
+		t.Fatal("n78 missing")
+	}
+	if b.Duplex != TDD || b.FR != FR1 {
+		t.Fatalf("n78 = %+v, want FR1 TDD", b)
+	}
+	if _, ok := BandByName("n999"); ok {
+		t.Fatal("n999 should not exist")
+	}
+}
+
+func TestFDDOnlyBelow2600(t *testing.T) {
+	// §2: FDD is only supported in sub-2.6GHz bands. Private 5G mid-band
+	// (n78 at 3.5 GHz) must therefore have no FDD option.
+	if FDDAvailable(3500) {
+		t.Fatal("FDD must not be available at 3.5 GHz")
+	}
+	if !FDDAvailable(2140) {
+		t.Fatal("FDD must be available at 2.14 GHz (n1)")
+	}
+	for _, b := range Bands {
+		if b.Duplex == FDD && b.LowMHz > 2690 {
+			t.Fatalf("band table lists FDD above 2.69 GHz: %+v", b)
+		}
+	}
+}
+
+func TestDuplexAndFRStrings(t *testing.T) {
+	if TDD.String() != "TDD" || FDD.String() != "FDD" {
+		t.Fatal("duplex strings wrong")
+	}
+	if FR1.String() != "FR1" || FR2.String() != "FR2" {
+		t.Fatal("FR strings wrong")
+	}
+	if Mu2.String() != "µ2(60kHz)" {
+		t.Fatalf("µ2 string = %q", Mu2.String())
+	}
+}

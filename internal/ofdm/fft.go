@@ -1,0 +1,83 @@
+// Package ofdm implements the OFDM baseband of 5G NR's PHY (§2 of the
+// paper: "5G New Radio uses Orthogonal Frequency-Division Multiplexing at
+// the PHY layer"): an iterative radix-2 FFT/IFFT, subcarrier mapping, and
+// cyclic-prefix insertion/removal. It turns the constellation symbols of
+// internal/modulation into the time-domain samples whose movement
+// internal/radio prices — closing the loop from bits to the sample counts
+// of Fig. 5.
+package ofdm
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+)
+
+// FFT computes the in-place decimation-in-time radix-2 FFT of x. The length
+// must be a power of two.
+func FFT(x []complex128) error {
+	return transform(x, false)
+}
+
+// IFFT computes the inverse FFT (normalised by 1/N).
+func IFFT(x []complex128) error {
+	if err := transform(x, true); err != nil {
+		return err
+	}
+	n := complex(float64(len(x)), 0)
+	for i := range x {
+		x[i] /= n
+	}
+	return nil
+}
+
+func transform(x []complex128, inverse bool) error {
+	n := len(x)
+	if n == 0 || n&(n-1) != 0 {
+		return fmt.Errorf("ofdm: FFT length %d is not a power of two", n)
+	}
+	// Bit-reversal permutation.
+	shift := 64 - uint(bits.Len(uint(n-1)))
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse64(uint64(i)) >> shift)
+		if i < j {
+			x[i], x[j] = x[j], x[i]
+		}
+	}
+	// Butterflies.
+	for size := 2; size <= n; size <<= 1 {
+		ang := 2 * math.Pi / float64(size)
+		if !inverse {
+			ang = -ang
+		}
+		wStep := complex(math.Cos(ang), math.Sin(ang))
+		for start := 0; start < n; start += size {
+			w := complex(1, 0)
+			half := size / 2
+			for k := 0; k < half; k++ {
+				a := x[start+k]
+				b := x[start+k+half] * w
+				x[start+k] = a + b
+				x[start+k+half] = a - b
+				w *= wStep
+			}
+		}
+	}
+	return nil
+}
+
+// DFTNaive is the O(n²) reference implementation, used by tests to validate
+// the fast transform.
+func DFTNaive(x []complex128) []complex128 {
+	n := len(x)
+	out := make([]complex128, n)
+	for k := 0; k < n; k++ {
+		var sum complex128
+		for t := 0; t < n; t++ {
+			ang := -2 * math.Pi * float64(k) * float64(t) / float64(n)
+			sum += x[t] * complex(math.Cos(ang), math.Sin(ang))
+		}
+		out[k] = sum
+	}
+	return out
+}

@@ -1,0 +1,135 @@
+package ofdm
+
+import (
+	"fmt"
+
+	"urllcsim/internal/sim"
+)
+
+// Params sizes one OFDM symbol chain.
+type Params struct {
+	// FFTSize is the transform length (e.g. 2048 for a 30 kHz/61.44 MS/s
+	// carrier, 1024 for 23.04 MS/s-class rates).
+	FFTSize int
+	// UsedSubcarriers is the number of active (data) subcarriers, centred
+	// around DC with DC itself unused, as in NR. Must be < FFTSize.
+	UsedSubcarriers int
+	// CPSamples is the cyclic-prefix length per symbol (≈ 7% of FFTSize for
+	// the NR normal CP).
+	CPSamples int
+}
+
+// Validate checks the parameter set.
+func (p Params) Validate() error {
+	if p.FFTSize <= 0 || p.FFTSize&(p.FFTSize-1) != 0 {
+		return fmt.Errorf("ofdm: FFT size %d not a power of two", p.FFTSize)
+	}
+	if p.UsedSubcarriers <= 0 || p.UsedSubcarriers >= p.FFTSize {
+		return fmt.Errorf("ofdm: %d used subcarriers does not fit FFT size %d", p.UsedSubcarriers, p.FFTSize)
+	}
+	if p.CPSamples < 0 || p.CPSamples >= p.FFTSize {
+		return fmt.Errorf("ofdm: CP length %d out of range", p.CPSamples)
+	}
+	return nil
+}
+
+// SamplesPerSymbol returns the time-domain samples one OFDM symbol occupies.
+func (p Params) SamplesPerSymbol() int { return p.FFTSize + p.CPSamples }
+
+// NRParams returns an NR-like parameterisation: 4096-point upper bound
+// scaled down so that usedPRBs×12 subcarriers fit, with a normal-CP-like 7%
+// prefix.
+func NRParams(usedPRBs int) (Params, error) {
+	used := usedPRBs * 12
+	size := 128
+	for size <= used {
+		size <<= 1
+	}
+	// NR keeps ~10% guard; bump once more if occupancy is above 90%.
+	if float64(used) > 0.9*float64(size) {
+		size <<= 1
+	}
+	p := Params{FFTSize: size, UsedSubcarriers: used, CPSamples: size * 7 / 100}
+	return p, p.Validate()
+}
+
+// Modulate maps UsedSubcarriers constellation points onto the grid, runs the
+// IFFT and prepends the cyclic prefix. Input length must be exactly
+// UsedSubcarriers.
+func (p Params) Modulate(subcarriers []complex128) ([]complex128, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(subcarriers) != p.UsedSubcarriers {
+		return nil, fmt.Errorf("ofdm: got %d subcarriers, want %d", len(subcarriers), p.UsedSubcarriers)
+	}
+	grid := make([]complex128, p.FFTSize)
+	p.mapSubcarriers(subcarriers, grid)
+	if err := IFFT(grid); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, 0, p.SamplesPerSymbol())
+	out = append(out, grid[p.FFTSize-p.CPSamples:]...)
+	out = append(out, grid...)
+	return out, nil
+}
+
+// Demodulate removes the CP, runs the FFT and extracts the active
+// subcarriers. Input length must be SamplesPerSymbol.
+func (p Params) Demodulate(samples []complex128) ([]complex128, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if len(samples) != p.SamplesPerSymbol() {
+		return nil, fmt.Errorf("ofdm: got %d samples, want %d", len(samples), p.SamplesPerSymbol())
+	}
+	grid := make([]complex128, p.FFTSize)
+	copy(grid, samples[p.CPSamples:])
+	if err := FFT(grid); err != nil {
+		return nil, err
+	}
+	out := make([]complex128, p.UsedSubcarriers)
+	p.unmapSubcarriers(grid, out)
+	return out, nil
+}
+
+// mapSubcarriers places the active carriers around DC: the first half on
+// positive frequencies 1..h, the second half on negative frequencies
+// (wrapping to the top of the FFT grid), DC unused.
+func (p Params) mapSubcarriers(in []complex128, grid []complex128) {
+	h := (p.UsedSubcarriers + 1) / 2
+	for i := 0; i < h; i++ {
+		grid[1+i] = in[i]
+	}
+	for i := h; i < p.UsedSubcarriers; i++ {
+		grid[p.FFTSize-(p.UsedSubcarriers-h)+(i-h)] = in[i]
+	}
+}
+
+func (p Params) unmapSubcarriers(grid []complex128, out []complex128) {
+	h := (p.UsedSubcarriers + 1) / 2
+	for i := 0; i < h; i++ {
+		out[i] = grid[1+i]
+	}
+	for i := h; i < p.UsedSubcarriers; i++ {
+		out[i] = grid[p.FFTSize-(p.UsedSubcarriers-h)+(i-h)]
+	}
+}
+
+// SlotSamples returns how many time-domain samples a 14-symbol slot
+// occupies — the quantity submitted to the radio head per slot and hence
+// the x-axis of Fig. 5.
+func (p Params) SlotSamples() int { return 14 * p.SamplesPerSymbol() }
+
+// SampleRate returns the sample rate implied by the FFT size and the
+// subcarrier spacing.
+func (p Params) SampleRate(scsKHz int) float64 {
+	return float64(p.FFTSize) * float64(scsKHz) * 1000
+}
+
+// SymbolDuration returns the on-air duration of one CP-extended symbol at
+// the given subcarrier spacing.
+func (p Params) SymbolDuration(scsKHz int) sim.Duration {
+	rate := p.SampleRate(scsKHz)
+	return sim.Duration(float64(p.SamplesPerSymbol()) / rate * 1e9)
+}

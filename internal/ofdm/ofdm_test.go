@@ -1,0 +1,272 @@
+package ofdm
+
+import (
+	"math"
+	"math/cmplx"
+	"testing"
+
+	"urllcsim/internal/fec"
+	"urllcsim/internal/modulation"
+	"urllcsim/internal/sim"
+)
+
+func randComplex(rng *sim.RNG, n int) []complex128 {
+	out := make([]complex128, n)
+	for i := range out {
+		out[i] = complex(rng.Normal(0, 1), rng.Normal(0, 1))
+	}
+	return out
+}
+
+func approxEqual(a, b []complex128, tol float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if cmplx.Abs(a[i]-b[i]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+func TestFFTMatchesNaiveDFT(t *testing.T) {
+	rng := sim.NewRNG(1)
+	for _, n := range []int{1, 2, 4, 8, 64, 256} {
+		x := randComplex(rng, n)
+		want := DFTNaive(x)
+		got := make([]complex128, n)
+		copy(got, x)
+		if err := FFT(got); err != nil {
+			t.Fatal(err)
+		}
+		if !approxEqual(got, want, 1e-9*float64(n)) {
+			t.Fatalf("FFT(%d) deviates from naive DFT", n)
+		}
+	}
+}
+
+func TestFFTRejectsNonPowerOfTwo(t *testing.T) {
+	if err := FFT(make([]complex128, 12)); err == nil {
+		t.Fatal("length 12 accepted")
+	}
+	if err := IFFT(nil); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}
+
+func TestIFFTInvertsFFT(t *testing.T) {
+	rng := sim.NewRNG(2)
+	x := randComplex(rng, 1024)
+	y := make([]complex128, len(x))
+	copy(y, x)
+	if err := FFT(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := IFFT(y); err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(x, y, 1e-9) {
+		t.Fatal("IFFT(FFT(x)) != x")
+	}
+}
+
+func TestParseval(t *testing.T) {
+	rng := sim.NewRNG(3)
+	x := randComplex(rng, 512)
+	var timeE float64
+	for _, v := range x {
+		timeE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	f := make([]complex128, len(x))
+	copy(f, x)
+	if err := FFT(f); err != nil {
+		t.Fatal(err)
+	}
+	var freqE float64
+	for _, v := range f {
+		freqE += real(v)*real(v) + imag(v)*imag(v)
+	}
+	if math.Abs(freqE/float64(len(x))-timeE)/timeE > 1e-9 {
+		t.Fatalf("Parseval violated: %v vs %v", freqE/float64(len(x)), timeE)
+	}
+}
+
+func TestParamsValidate(t *testing.T) {
+	bad := []Params{
+		{FFTSize: 100, UsedSubcarriers: 50, CPSamples: 7},
+		{FFTSize: 128, UsedSubcarriers: 0, CPSamples: 7},
+		{FFTSize: 128, UsedSubcarriers: 128, CPSamples: 7},
+		{FFTSize: 128, UsedSubcarriers: 64, CPSamples: 128},
+		{FFTSize: 128, UsedSubcarriers: 64, CPSamples: -1},
+	}
+	for i, p := range bad {
+		if err := p.Validate(); err == nil {
+			t.Fatalf("bad params %d accepted: %+v", i, p)
+		}
+	}
+	good := Params{FFTSize: 1024, UsedSubcarriers: 612, CPSamples: 72}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if good.SamplesPerSymbol() != 1096 {
+		t.Fatalf("SamplesPerSymbol = %d", good.SamplesPerSymbol())
+	}
+}
+
+func TestNRParams(t *testing.T) {
+	// 106 PRBs (the simulator's 40MHz default): 1272 subcarriers → 2048 FFT.
+	p, err := NRParams(106)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.FFTSize != 2048 || p.UsedSubcarriers != 1272 {
+		t.Fatalf("NRParams(106) = %+v", p)
+	}
+	// 273 PRBs: 3276 → 4096.
+	p, err = NRParams(273)
+	if err != nil || p.FFTSize != 4096 {
+		t.Fatalf("NRParams(273) = %+v, %v", p, err)
+	}
+	// Sample rate at 30kHz SCS: 2048 × 30k = 61.44 MS/s.
+	p, _ = NRParams(106)
+	if got := p.SampleRate(30); got != 61.44e6 {
+		t.Fatalf("sample rate = %v", got)
+	}
+}
+
+func TestModulateDemodulateRoundTrip(t *testing.T) {
+	rng := sim.NewRNG(4)
+	p := Params{FFTSize: 512, UsedSubcarriers: 300, CPSamples: 36}
+	sub := randComplex(rng, p.UsedSubcarriers)
+	tx, err := p.Modulate(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tx) != p.SamplesPerSymbol() {
+		t.Fatalf("tx length %d", len(tx))
+	}
+	rx, err := p.Demodulate(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !approxEqual(rx, sub, 1e-9) {
+		t.Fatal("OFDM round trip failed")
+	}
+}
+
+func TestCPAbsorbsCircularDelay(t *testing.T) {
+	// The point of the CP: a receiver that starts its FFT window up to
+	// CPSamples late still sees a pure per-subcarrier phase rotation —
+	// equal magnitudes, no inter-carrier interference.
+	rng := sim.NewRNG(5)
+	p := Params{FFTSize: 256, UsedSubcarriers: 120, CPSamples: 18}
+	sub := randComplex(rng, p.UsedSubcarriers)
+	tx, err := p.Modulate(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delay := 7 // < CP
+	shifted := tx[p.CPSamples-delay : p.CPSamples-delay+p.FFTSize]
+	grid := make([]complex128, p.FFTSize)
+	copy(grid, shifted)
+	if err := FFT(grid); err != nil {
+		t.Fatal(err)
+	}
+	rx := make([]complex128, p.UsedSubcarriers)
+	p.unmapSubcarriers(grid, rx)
+	for i := range sub {
+		if math.Abs(cmplx.Abs(rx[i])-cmplx.Abs(sub[i])) > 1e-9 {
+			t.Fatalf("subcarrier %d magnitude distorted by in-CP delay", i)
+		}
+	}
+}
+
+func TestModulateErrors(t *testing.T) {
+	p := Params{FFTSize: 256, UsedSubcarriers: 120, CPSamples: 18}
+	if _, err := p.Modulate(make([]complex128, 100)); err == nil {
+		t.Fatal("wrong subcarrier count accepted")
+	}
+	if _, err := p.Demodulate(make([]complex128, 10)); err == nil {
+		t.Fatal("wrong sample count accepted")
+	}
+}
+
+func TestEndToEndBitsToSamples(t *testing.T) {
+	// QAM bits → subcarriers → OFDM samples → back: the full PHY path.
+	rng := sim.NewRNG(6)
+	p := Params{FFTSize: 512, UsedSubcarriers: 300, CPSamples: 36}
+	bs := make([]fec.Bit, p.UsedSubcarriers*4) // 16QAM
+	for i := range bs {
+		bs[i] = fec.Bit(rng.Uint64()) & 1
+	}
+	sub, err := modulation.Modulate(modulation.QAM16, bs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tx, err := p.Modulate(sub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rx, err := p.Demodulate(tx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := modulation.Demodulate(modulation.QAM16, rx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range bs {
+		if got[i] != bs[i] {
+			t.Fatalf("bit %d flipped through clean OFDM chain", i)
+		}
+	}
+}
+
+func TestSlotSamplesMatchesFig5Scale(t *testing.T) {
+	// A 23.04 MS/s-class configuration (the B210's rate) pushes ~11.5k
+	// samples per 0.5ms slot — the middle of Fig. 5's x-axis.
+	p := Params{FFTSize: 1024, UsedSubcarriers: 624, CPSamples: 72}
+	rate := p.SampleRate(30) // 30.72 MS/s for 1024 FFT
+	slotSamples := int(rate * 0.0005)
+	if slotSamples < 11000 || slotSamples > 16000 {
+		t.Fatalf("slot samples %d outside Fig. 5's regime", slotSamples)
+	}
+	if p.SlotSamples() != 14*1096 {
+		t.Fatalf("SlotSamples = %d", p.SlotSamples())
+	}
+}
+
+func TestSymbolDuration(t *testing.T) {
+	p, _ := NRParams(106)
+	d := p.SymbolDuration(30)
+	// 2048+143 samples at 61.44MS/s ≈ 35.66µs ≈ one µ1 symbol (35.7µs).
+	if d < 34*sim.Microsecond || d > 37*sim.Microsecond {
+		t.Fatalf("symbol duration %v", d)
+	}
+}
+
+func BenchmarkFFT2048(b *testing.B) {
+	rng := sim.NewRNG(7)
+	x := randComplex(rng, 2048)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FFT(x)
+	}
+}
+
+func BenchmarkOFDMSymbol(b *testing.B) {
+	rng := sim.NewRNG(8)
+	p, _ := NRParams(106)
+	sub := randComplex(rng, p.UsedSubcarriers)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tx, err := p.Modulate(sub)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Demodulate(tx); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

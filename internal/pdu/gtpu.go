@@ -1,0 +1,109 @@
+package pdu
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+// GTPUHeader is the mandatory 8-octet GTP-U header (TS 29.281 §5.1): the
+// gNB encapsulates every UL user-plane packet toward the UPF in one of
+// these, and the UPF strips it (§3 of the paper: "encapsulates it into a
+// GTP-U packet, forwarding it to the UPF").
+type GTPUHeader struct {
+	TEID uint32
+}
+
+const (
+	gtpuVersion  = 1
+	gtpuPTGTP    = 1
+	gtpuMsgTPDU  = 0xFF
+	gtpuHdrBytes = 8
+)
+
+// Encode renders header + payload.
+func (h GTPUHeader) Encode(payload []byte) ([]byte, error) {
+	if len(payload) > 0xFFFF {
+		return nil, fmt.Errorf("pdu: GTP-U payload %dB exceeds 16-bit length", len(payload))
+	}
+	out := make([]byte, gtpuHdrBytes+len(payload))
+	out[0] = gtpuVersion<<5 | gtpuPTGTP<<4 // version 1, PT=GTP, no E/S/PN
+	out[1] = gtpuMsgTPDU
+	binary.BigEndian.PutUint16(out[2:], uint16(len(payload)))
+	binary.BigEndian.PutUint32(out[4:], h.TEID)
+	copy(out[gtpuHdrBytes:], payload)
+	return out, nil
+}
+
+// DecodeGTPU parses a G-PDU.
+func DecodeGTPU(buf []byte) (GTPUHeader, []byte, error) {
+	var h GTPUHeader
+	if len(buf) < gtpuHdrBytes {
+		return h, nil, fmt.Errorf("pdu: GTP-U packet %dB too short", len(buf))
+	}
+	if v := buf[0] >> 5; v != gtpuVersion {
+		return h, nil, fmt.Errorf("pdu: GTP version %d", v)
+	}
+	if buf[0]&0x10 == 0 {
+		return h, nil, fmt.Errorf("pdu: GTP' (PT=0) not supported")
+	}
+	if flags := buf[0] & 0x0F; flags != 0 {
+		// Reserved bit and E/S/PN (which extend the header to 12 bytes):
+		// this simulator never emits them, so reject rather than misparse
+		// (both cases found by fuzzing).
+		return h, nil, fmt.Errorf("pdu: GTP-U flags %#x not supported", flags)
+	}
+	if buf[1] != gtpuMsgTPDU {
+		return h, nil, fmt.Errorf("pdu: GTP-U message type %#x not a T-PDU", buf[1])
+	}
+	n := int(binary.BigEndian.Uint16(buf[2:]))
+	if len(buf) != gtpuHdrBytes+n {
+		return h, nil, fmt.Errorf("pdu: GTP-U length field %d vs %d actual", n, len(buf)-gtpuHdrBytes)
+	}
+	h.TEID = binary.BigEndian.Uint32(buf[4:])
+	return h, buf[gtpuHdrBytes:], nil
+}
+
+// Echo is the simulator's ping payload (an ICMP-echo stand-in): ID,
+// sequence number and the sender's virtual-time timestamp, padded to Size.
+type Echo struct {
+	ID     uint16
+	Seq    uint16
+	SentNs int64
+	Reply  bool
+	Size   int // total encoded size; 0 → minimum (13 bytes)
+}
+
+const echoMinBytes = 13
+
+// Encode renders the echo message.
+func (e Echo) Encode() ([]byte, error) {
+	size := e.Size
+	if size == 0 {
+		size = echoMinBytes
+	}
+	if size < echoMinBytes {
+		return nil, fmt.Errorf("pdu: echo size %d below %d minimum", size, echoMinBytes)
+	}
+	out := make([]byte, size)
+	if e.Reply {
+		out[0] = 1
+	}
+	binary.BigEndian.PutUint16(out[1:], e.ID)
+	binary.BigEndian.PutUint16(out[3:], e.Seq)
+	binary.BigEndian.PutUint64(out[5:], uint64(e.SentNs))
+	return out, nil
+}
+
+// DecodeEcho parses an echo message.
+func DecodeEcho(buf []byte) (Echo, error) {
+	var e Echo
+	if len(buf) < echoMinBytes {
+		return e, fmt.Errorf("pdu: echo %dB too short", len(buf))
+	}
+	e.Reply = buf[0] == 1
+	e.ID = binary.BigEndian.Uint16(buf[1:])
+	e.Seq = binary.BigEndian.Uint16(buf[3:])
+	e.SentNs = int64(binary.BigEndian.Uint64(buf[5:]))
+	e.Size = len(buf)
+	return e, nil
+}

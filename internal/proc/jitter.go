@@ -1,0 +1,48 @@
+package proc
+
+import "urllcsim/internal/sim"
+
+// OSJitter models the operating system's contribution to latency
+// non-determinism: a small Gaussian wobble on every operation plus rare,
+// large preemption spikes — the phenomenon visible as the outliers of the
+// paper's Fig. 5 and the root of §6's reliability concern.
+type OSJitter struct {
+	Name string
+
+	// BaseStdUs is the standard deviation of the ever-present wobble (µs).
+	BaseStdUs float64
+
+	// SpikeProb is the per-operation probability of a scheduling spike.
+	SpikeProb float64
+
+	// SpikeMinUs/SpikeMaxUs bound the uniform spike magnitude (µs).
+	SpikeMinUs, SpikeMaxUs float64
+}
+
+// Sample draws one jitter value (≥ 0).
+func (j OSJitter) Sample(rng *sim.RNG) sim.Duration {
+	us := rng.Normal(0, j.BaseStdUs)
+	if us < 0 {
+		us = 0
+	}
+	if j.SpikeProb > 0 && rng.Bernoulli(j.SpikeProb) {
+		us += rng.Uniform(j.SpikeMinUs, j.SpikeMaxUs)
+	}
+	return sim.Duration(us * 1000)
+}
+
+// NonRTKernel is the default desktop-Linux profile: frequent multi-tens-of-
+// microsecond preemption spikes, matching the spike density of Fig. 5.
+func NonRTKernel() OSJitter {
+	return OSJitter{Name: "non-RT", BaseStdUs: 6, SpikeProb: 0.035, SpikeMinUs: 40, SpikeMaxUs: 150}
+}
+
+// RTKernel is a PREEMPT_RT profile: the wobble shrinks and spikes all but
+// vanish — §6's suggested mitigation ("using, for instance, real-time
+// kernel for the OS").
+func RTKernel() OSJitter {
+	return OSJitter{Name: "RT", BaseStdUs: 1.5, SpikeProb: 0.001, SpikeMinUs: 5, SpikeMaxUs: 20}
+}
+
+// NoJitter disables OS noise (idealised hardware pipeline).
+func NoJitter() OSJitter { return OSJitter{Name: "none"} }

@@ -1,0 +1,171 @@
+package proc
+
+import (
+	"math"
+	"testing"
+
+	"urllcsim/internal/sim"
+)
+
+func moments(t *testing.T, sample func(*sim.RNG) sim.Duration, n int) (mean, std float64) {
+	t.Helper()
+	rng := sim.NewRNG(1234)
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		us := float64(sample(rng)) / 1000
+		sum += us
+		sumsq += us * us
+	}
+	mean = sum / float64(n)
+	std = math.Sqrt(sumsq/float64(n) - mean*mean)
+	return
+}
+
+func TestDeterministicDist(t *testing.T) {
+	d := Dist{Deterministic, 55.21, 99}
+	rng := sim.NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if got := d.Sample(rng); got != sim.Duration(55210) {
+			t.Fatalf("deterministic sample = %v", got)
+		}
+	}
+	if d.Mean() != sim.Duration(55210) {
+		t.Fatalf("Mean = %v", d.Mean())
+	}
+}
+
+func TestNormalDistTruncated(t *testing.T) {
+	d := Dist{Normal, 2, 10}
+	rng := sim.NewRNG(2)
+	for i := 0; i < 10000; i++ {
+		if d.Sample(rng) < 0 {
+			t.Fatal("negative processing time")
+		}
+	}
+}
+
+func TestLogNormalMatchesTable2(t *testing.T) {
+	// Each Table 2 layer distribution must reproduce its configured moments.
+	p := GNBTable2Profile()
+	want := map[Layer][2]float64{
+		LayerSDAP: {4.65, 6.71},
+		LayerPDCP: {8.29, 8.99},
+		LayerRLC:  {4.12, 8.37},
+		LayerMAC:  {55.21, 16.31},
+		LayerPHY:  {41.55, 10.83},
+	}
+	for l, w := range want {
+		d := p.Dist(l)
+		mean, std := moments(t, d.Sample, 300000)
+		if math.Abs(mean-w[0])/w[0] > 0.03 {
+			t.Errorf("%v mean = %.2fµs, want %.2f", l, mean, w[0])
+		}
+		if math.Abs(std-w[1])/w[1] > 0.05 {
+			t.Errorf("%v std = %.2fµs, want %.2f", l, std, w[1])
+		}
+	}
+}
+
+func TestUEProfileSlowerThanGNB(t *testing.T) {
+	// §7: "the UE needs more time for processing than gNB".
+	ue, gnb := UEModemProfile(), GNBTable2Profile()
+	for _, l := range Layers {
+		if ue.Dists[l].MeanUs <= gnb.Dists[l].MeanUs {
+			t.Errorf("UE %v mean %.2f not above gNB %.2f", l, ue.Dists[l].MeanUs, gnb.Dists[l].MeanUs)
+		}
+	}
+	if ue.TotalMean() <= gnb.TotalMean() {
+		t.Fatal("UE total processing must exceed gNB")
+	}
+}
+
+func TestProfileLoadScaling(t *testing.T) {
+	p := GNBTable2Profile()
+	rng1, rng2 := sim.NewRNG(7), sim.NewRNG(7)
+	oneUE := p.Sample(LayerMAC, 1, rng1)
+	tenUE := p.Sample(LayerMAC, 10, rng2)
+	wantRatio := 1 + p.UEScale*9
+	gotRatio := float64(tenUE) / float64(oneUE)
+	if math.Abs(gotRatio-wantRatio) > 1e-3 { // ns truncation of Duration
+		t.Fatalf("load scaling ratio = %v, want %v", gotRatio, wantRatio)
+	}
+	// Zero scale profiles are unaffected by load.
+	ue := UEModemProfile()
+	a := ue.Sample(LayerPHY, 1, sim.NewRNG(9))
+	b := ue.Sample(LayerPHY, 50, sim.NewRNG(9))
+	if a != b {
+		t.Fatal("UEScale=0 profile scaled with load")
+	}
+}
+
+func TestIdealAndASICProfiles(t *testing.T) {
+	if IdealProfile().TotalMean() != 0 {
+		t.Fatal("ideal profile must cost nothing")
+	}
+	asic := ASICProfile()
+	if asic.TotalMean() != sim.Duration(17*1000) {
+		t.Fatalf("ASIC total = %v, want 17µs", asic.TotalMean())
+	}
+	// ASIC is deterministic.
+	a := asic.Sample(LayerPHY, 1, sim.NewRNG(1))
+	b := asic.Sample(LayerPHY, 1, sim.NewRNG(99))
+	if a != b {
+		t.Fatal("ASIC profile must be deterministic")
+	}
+}
+
+func TestGNBTotalFitsOneSlotBudget(t *testing.T) {
+	// §5/§7: software processing (≈114µs mean total) must fit within one
+	// 0.25ms slot for URLLC to be feasible — the paper's headline
+	// feasibility argument. Verify our Table 2 parameterisation satisfies it.
+	total := GNBTable2Profile().TotalMean()
+	if total >= 250*sim.Microsecond {
+		t.Fatalf("gNB mean processing %v exceeds one µ2 slot", total)
+	}
+	if total <= 50*sim.Microsecond {
+		t.Fatalf("gNB mean processing %v implausibly low", total)
+	}
+}
+
+func TestOSJitterProfiles(t *testing.T) {
+	rng := sim.NewRNG(5)
+	nonRT, rt := NonRTKernel(), RTKernel()
+	var nrtSpikes, rtSpikes int
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if nonRT.Sample(rng) > 30*sim.Microsecond {
+			nrtSpikes++
+		}
+		if rt.Sample(rng) > 30*sim.Microsecond {
+			rtSpikes++
+		}
+	}
+	if nrtSpikes == 0 {
+		t.Fatal("non-RT kernel produced no spikes")
+	}
+	if rtSpikes*10 >= nrtSpikes {
+		t.Fatalf("RT kernel spikes (%d) not ≪ non-RT (%d)", rtSpikes, nrtSpikes)
+	}
+	if NoJitter().Sample(rng) != 0 {
+		t.Fatal("NoJitter must sample 0")
+	}
+}
+
+func TestOSJitterNonNegative(t *testing.T) {
+	rng := sim.NewRNG(6)
+	j := NonRTKernel()
+	for i := 0; i < 10000; i++ {
+		if j.Sample(rng) < 0 {
+			t.Fatal("negative jitter")
+		}
+	}
+}
+
+func TestLayerStrings(t *testing.T) {
+	want := []string{"SDAP", "PDCP", "RLC", "MAC", "PHY"}
+	for i, l := range Layers {
+		if l.String() != want[i] {
+			t.Fatalf("layer %d = %q", i, l.String())
+		}
+	}
+}

@@ -1,0 +1,204 @@
+// Package rach models the 4-step random access procedure (TS 38.321 §5.1):
+// the latency a UE pays *before* any of the paper's connected-mode analysis
+// applies. URLLC applications keep UEs connected precisely because this
+// handshake — PRACH occasion wait, RAR window, Msg3 grant, contention
+// resolution — costs tens of milliseconds, dwarfing the 0.5 ms budget.
+//
+// The model is analytic with the same style as internal/core: explicit
+// assumptions, worst/mean walks over the TDD timeline, plus a contention
+// model for Msg1 preamble collisions.
+package rach
+
+import (
+	"fmt"
+	"math"
+
+	"urllcsim/internal/nr"
+	"urllcsim/internal/sim"
+)
+
+// Config parameterises the procedure.
+type Config struct {
+	// Grid is the TDD timeline (PRACH occasions and Msg3 need UL symbols;
+	// RAR and Msg4 need DL).
+	Grid *nr.Grid
+
+	// PRACHPeriod is the PRACH configuration periodicity: occasions recur
+	// once per period, in the period's first UL region (TS 38.211 Table
+	// 6.3.3.2: 10 ms is the common default; dense configs go to 1.25 ms).
+	PRACHPeriod sim.Duration
+
+	// RARDelay is the gNB's Msg1→Msg2 processing time (detection + MAC
+	// scheduling; ≥2 slots typical).
+	RARDelay sim.Duration
+
+	// Msg3Delay is the UE's Msg2→Msg3 turnaround (k2 + processing).
+	Msg3Delay sim.Duration
+
+	// Msg4Delay is the gNB's Msg3→Msg4 turnaround (contention resolution).
+	Msg4Delay sim.Duration
+
+	// Preambles is the number of orthogonal PRACH preambles per occasion
+	// (64 raw; ~54 usable for contention-based access).
+	Preambles int
+
+	// BackoffMax is the maximum uniform backoff after a collision.
+	BackoffMax sim.Duration
+}
+
+// DefaultConfig returns a typical FR1 setup on the given grid.
+func DefaultConfig(g *nr.Grid) Config {
+	return Config{
+		Grid:        g,
+		PRACHPeriod: 10 * sim.Millisecond,
+		RARDelay:    2 * g.Mu.SlotDuration(),
+		Msg3Delay:   2 * g.Mu.SlotDuration(),
+		Msg4Delay:   2 * g.Mu.SlotDuration(),
+		Preambles:   54,
+		BackoffMax:  20 * sim.Millisecond,
+	}
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Grid == nil {
+		return fmt.Errorf("rach: nil grid")
+	}
+	if c.PRACHPeriod <= 0 {
+		return fmt.Errorf("rach: non-positive PRACH period")
+	}
+	if c.Preambles <= 0 {
+		return fmt.Errorf("rach: no preambles")
+	}
+	if !c.Grid.HasKind(nr.SymUL) || !c.Grid.HasKind(nr.SymDL) {
+		return fmt.Errorf("rach: grid %s lacks UL or DL symbols", c.Grid.Label)
+	}
+	return nil
+}
+
+// Walk computes the collision-free 4-step timeline for a UE deciding to
+// access at the given time.
+//
+//	Msg1: next PRACH occasion (first UL region of the next PRACH period)
+//	Msg2: RAR in the next DL region after RARDelay
+//	Msg3: UE transmission in the next UL region after Msg3Delay
+//	Msg4: contention resolution in the next DL region after Msg4Delay
+type Walk struct {
+	Start      sim.Time
+	Msg1, Msg2 sim.Time
+	Msg3, Msg4 sim.Time
+	Total      sim.Duration
+}
+
+// Access runs the walk.
+func (c Config) Access(at sim.Time) (Walk, error) {
+	if err := c.Validate(); err != nil {
+		return Walk{}, err
+	}
+	w := Walk{Start: at}
+	occ, err := c.nextPRACHOccasion(at)
+	if err != nil {
+		return Walk{}, err
+	}
+	w.Msg1 = occ
+	msg2, err := c.nextRegion(w.Msg1.Add(c.RARDelay), nr.SymDL)
+	if err != nil {
+		return Walk{}, err
+	}
+	w.Msg2 = msg2
+	msg3, err := c.nextRegion(w.Msg2.Add(c.Msg3Delay), nr.SymUL)
+	if err != nil {
+		return Walk{}, err
+	}
+	w.Msg3 = msg3
+	msg4, err := c.nextRegion(w.Msg3.Add(c.Msg4Delay), nr.SymDL)
+	if err != nil {
+		return Walk{}, err
+	}
+	w.Msg4 = msg4
+	w.Total = w.Msg4.Sub(at)
+	return w, nil
+}
+
+// nextPRACHOccasion returns the start of the first UL region at or after
+// the next PRACH-period boundary ≥ t.
+func (c Config) nextPRACHOccasion(t sim.Time) (sim.Time, error) {
+	p := int64(c.PRACHPeriod)
+	boundary := (int64(t) + p - 1) / p * p
+	return c.nextRegion(sim.Time(boundary), nr.SymUL)
+}
+
+func (c Config) nextRegion(t sim.Time, kind nr.SymbolKind) (sim.Time, error) {
+	start, ok := c.Grid.NextKindStart(t, kind)
+	if !ok {
+		return 0, fmt.Errorf("rach: no %c region in %s", kind, c.Grid.Label)
+	}
+	return start, nil
+}
+
+// WorstCase scans access instants over one PRACH period.
+func (c Config) WorstCase() (Walk, error) {
+	if err := c.Validate(); err != nil {
+		return Walk{}, err
+	}
+	step := c.Grid.Mu.SymbolDuration()
+	var worst Walk
+	found := false
+	for t := sim.Time(0); t < sim.Time(c.PRACHPeriod); t = t.Add(step) {
+		for _, probe := range []sim.Time{t, t + 1} {
+			w, err := c.Access(probe)
+			if err != nil {
+				return Walk{}, err
+			}
+			if !found || w.Total > worst.Total {
+				worst, found = w, true
+			}
+		}
+	}
+	return worst, nil
+}
+
+// MeanTotal averages the walk over uniformly distributed access instants.
+func (c Config) MeanTotal() (sim.Duration, error) {
+	if err := c.Validate(); err != nil {
+		return 0, err
+	}
+	step := c.Grid.Mu.SymbolDuration() / 4
+	var sum float64
+	n := 0
+	for t := sim.Time(0); t < sim.Time(c.PRACHPeriod); t = t.Add(step) {
+		w, err := c.Access(t)
+		if err != nil {
+			return 0, err
+		}
+		sum += float64(w.Total)
+		n++
+	}
+	return sim.Duration(sum / float64(n)), nil
+}
+
+// CollisionProb returns the probability that a given access attempt picks a
+// preamble also picked by at least one of n-1 other simultaneous contenders.
+func (c Config) CollisionProb(contenders int) float64 {
+	if contenders <= 1 {
+		return 0
+	}
+	return 1 - math.Pow(1-1.0/float64(c.Preambles), float64(contenders-1))
+}
+
+// ExpectedWithContention returns the expected access time with n
+// simultaneous contenders: each collision costs a mean backoff plus a fresh
+// attempt (geometric number of rounds).
+func (c Config) ExpectedWithContention(contenders int) (sim.Duration, error) {
+	mean, err := c.MeanTotal()
+	if err != nil {
+		return 0, err
+	}
+	p := c.CollisionProb(contenders)
+	if p >= 1 {
+		return 0, fmt.Errorf("rach: certain collision with %d contenders", contenders)
+	}
+	rounds := 1 / (1 - p) // expected attempts
+	perRetry := float64(c.BackoffMax)/2 + float64(mean)
+	return sim.Duration(float64(mean) + (rounds-1)*perRetry), nil
+}

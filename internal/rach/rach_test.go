@@ -1,0 +1,167 @@
+package rach
+
+import (
+	"math"
+	"testing"
+
+	"urllcsim/internal/nr"
+	"urllcsim/internal/sim"
+)
+
+func ddduGrid(t *testing.T) *nr.Grid {
+	t.Helper()
+	g, err := nr.BuildGrid(nr.CommonConfig{Mu: nr.Mu1, Pattern1: nr.PatternDDDU(nr.Mu1)}, 2, "DDDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestValidate(t *testing.T) {
+	g := ddduGrid(t)
+	if err := DefaultConfig(g).Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := DefaultConfig(g)
+	bad.Grid = nil
+	if err := bad.Validate(); err == nil {
+		t.Fatal("nil grid accepted")
+	}
+	bad = DefaultConfig(g)
+	bad.PRACHPeriod = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero PRACH period accepted")
+	}
+	bad = DefaultConfig(g)
+	bad.Preambles = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("zero preambles accepted")
+	}
+	dlOnly := DefaultConfig(nr.UniformGrid(nr.Mu1, nr.SymDL, "dl"))
+	if err := dlOnly.Validate(); err == nil {
+		t.Fatal("UL-less grid accepted")
+	}
+}
+
+func TestAccessOrdering(t *testing.T) {
+	c := DefaultConfig(ddduGrid(t))
+	w, err := c.Access(sim.Time(123_456))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(w.Start < w.Msg1 && w.Msg1 < w.Msg2 && w.Msg2 < w.Msg3 && w.Msg3 < w.Msg4) {
+		t.Fatalf("message ordering broken: %+v", w)
+	}
+	if w.Total != w.Msg4.Sub(w.Start) {
+		t.Fatalf("total inconsistent: %+v", w)
+	}
+	// Msg1 lands on a PRACH-period boundary's first UL region: in DDDU the
+	// UL slot is slot 3, so Msg1 sits 1.5ms into a 10ms boundary.
+	if int64(w.Msg1)%int64(10*sim.Millisecond) != int64(1500*sim.Microsecond) {
+		t.Fatalf("Msg1 at %v not on a PRACH occasion", w.Msg1)
+	}
+}
+
+func TestAccessKindsCorrect(t *testing.T) {
+	c := DefaultConfig(ddduGrid(t))
+	g := c.Grid
+	w, err := c.Access(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.KindAt(w.Msg1) != nr.SymUL || g.KindAt(w.Msg3) != nr.SymUL {
+		t.Fatal("Msg1/Msg3 not on UL symbols")
+	}
+	if g.KindAt(w.Msg2) != nr.SymDL || g.KindAt(w.Msg4) != nr.SymDL {
+		t.Fatal("Msg2/Msg4 not on DL symbols")
+	}
+}
+
+func TestWorstCaseDominatesMean(t *testing.T) {
+	c := DefaultConfig(ddduGrid(t))
+	worst, err := c.WorstCase()
+	if err != nil {
+		t.Fatal(err)
+	}
+	mean, err := c.MeanTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if worst.Total < mean {
+		t.Fatalf("worst %v below mean %v", worst.Total, mean)
+	}
+	// With a 10ms PRACH period the procedure costs ~10–16ms worst case —
+	// the reason URLLC UEs stay connected.
+	if worst.Total < 8*sim.Millisecond || worst.Total > 20*sim.Millisecond {
+		t.Fatalf("worst-case access %v outside the expected regime", worst.Total)
+	}
+}
+
+func TestDensePRACHHelps(t *testing.T) {
+	c := DefaultConfig(ddduGrid(t))
+	sparse, err := c.MeanTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.PRACHPeriod = 2500 * sim.Microsecond
+	dense, err := c.MeanTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dense >= sparse {
+		t.Fatalf("denser PRACH (%v) not faster than sparse (%v)", dense, sparse)
+	}
+}
+
+func TestCollisionProb(t *testing.T) {
+	c := DefaultConfig(ddduGrid(t))
+	if c.CollisionProb(1) != 0 {
+		t.Fatal("single contender collided")
+	}
+	p2 := c.CollisionProb(2)
+	want := 1.0 / 54
+	if math.Abs(p2-want) > 1e-12 {
+		t.Fatalf("2-contender collision = %v, want %v", p2, want)
+	}
+	prev := 0.0
+	for _, n := range []int{2, 5, 20, 54, 200} {
+		p := c.CollisionProb(n)
+		if p <= prev || p > 1 {
+			t.Fatalf("collision prob not growing at %d: %v", n, p)
+		}
+		prev = p
+	}
+}
+
+func TestExpectedWithContention(t *testing.T) {
+	c := DefaultConfig(ddduGrid(t))
+	solo, err := c.ExpectedWithContention(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	crowded, err := c.ExpectedWithContention(40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if crowded <= solo {
+		t.Fatalf("contention did not slow access: %v vs %v", crowded, solo)
+	}
+	mean, _ := c.MeanTotal()
+	if solo != mean {
+		t.Fatalf("solo access %v must equal the contention-free mean %v", solo, mean)
+	}
+}
+
+func TestAccessDwarfsURLLCBudget(t *testing.T) {
+	// The reason the paper's analysis starts from connected mode: even the
+	// *mean* random-access handshake exceeds the whole 0.5ms budget by an
+	// order of magnitude.
+	c := DefaultConfig(ddduGrid(t))
+	mean, err := c.MeanTotal()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mean < 10*500*sim.Microsecond {
+		t.Fatalf("mean access %v does not dwarf the URLLC budget", mean)
+	}
+}

@@ -1,0 +1,19 @@
+package radio
+
+import (
+	"urllcsim/internal/ofdm"
+)
+
+// NRHead derives a radio head from an OFDM parameterisation: the sample
+// rate is fixed by the FFT size and subcarrier spacing (rate = FFT·SCS), so
+// the per-slot sample counts the bus moves — Fig. 5's x-axis — follow from
+// the carrier configuration instead of being hand-picked.
+func NRHead(name string, p ofdm.Params, scsKHz int, bus Bus, convertUs, fifoUs float64) *Head {
+	return &Head{
+		Name:         name,
+		Bus:          bus,
+		SampleRateHz: p.SampleRate(scsKHz),
+		ConvertUs:    convertUs,
+		FIFOUs:       fifoUs,
+	}
+}

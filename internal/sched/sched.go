@@ -1,0 +1,260 @@
+// Package sched implements the gNB MAC scheduler: the once-per-slot
+// decision process of §2 ("the scheduling task is done just once per slot"),
+// SR handling and UL grant issuance, configured grants (grant-free UL), DL
+// allocation from the RLC queue, and the radio-readiness margin of §4 — the
+// scheduler must plan far enough ahead that processing plus sample
+// submission finish before the target slot starts on air.
+package sched
+
+import (
+	"fmt"
+
+	"urllcsim/internal/nr"
+	"urllcsim/internal/sim"
+)
+
+// Grant is one UL allocation: the UE may transmit Bytes starting at Slot.
+type Grant struct {
+	UE        int
+	SlotStart sim.Time
+	Bytes     int
+	// InResponseTo is the SR reception time that triggered the grant
+	// (Never for configured grants).
+	InResponseTo sim.Time
+}
+
+// Alloc is one DL allocation inside a planned slot.
+type Alloc struct {
+	UE        int
+	SlotStart sim.Time
+	Bytes     int
+	ItemIDs   []int // which queue items ride this allocation
+}
+
+// DLItem is one pending DL SDU in the RLC queue.
+type DLItem struct {
+	ID         int
+	UE         int
+	Bytes      int
+	EnqueuedAt sim.Time
+}
+
+// SRRequest is a received-but-unserved scheduling request.
+type SRRequest struct {
+	UE     int
+	RecvAt sim.Time // when the gNB finished decoding the SR
+	Bytes  int      // buffer estimate (from BSR or configured default)
+}
+
+// Plan is the outcome of one scheduling instant.
+type Plan struct {
+	Boundary  sim.Time
+	TargetDL  sim.Time // start of the DL slot this instant plans (Never if none)
+	ULGrants  []Grant
+	DLAllocs  []Alloc
+	DLPlanned []int // IDs removed from the DL queue
+}
+
+// Config parameterises the scheduler.
+type Config struct {
+	Grid *nr.Grid
+
+	// ULGrid is the uplink timeline when it differs from Grid (FDD's paired
+	// carrier). Nil means Grid (TDD).
+	ULGrid *nr.Grid
+
+	// MarginSlots is the lead time between a scheduling decision and the
+	// slot it targets, covering MAC+PHY processing and radio submission
+	// (§4, §7: "the transmission must be always delayed for one slot").
+	MarginSlots int
+
+	// K2Slots is the UE's minimum grant→PUSCH preparation time in slots.
+	K2Slots int
+
+	// DLSlotBytes / ULSlotBytes are the transport capacity of one full
+	// DL/UL slot at the operating MCS (from modulation.TBS).
+	DLSlotBytes int
+	ULSlotBytes int
+
+	// GrantBytes is the default UL grant size when the SR carries no BSR.
+	GrantBytes int
+}
+
+// Scheduler holds the gNB-side scheduling state.
+type Scheduler struct {
+	cfg Config
+
+	pendingSR []SRRequest
+	// grantedUL tracks slots already promised to a UE so two grants do not
+	// collide on the same slot's capacity.
+	grantedUL map[sim.Time]int // slot start → bytes already granted
+}
+
+// New returns a scheduler.
+func New(cfg Config) (*Scheduler, error) {
+	if cfg.Grid == nil {
+		return nil, fmt.Errorf("sched: nil grid")
+	}
+	if cfg.MarginSlots < 0 || cfg.K2Slots < 0 {
+		return nil, fmt.Errorf("sched: negative margin or k2")
+	}
+	if cfg.DLSlotBytes <= 0 || cfg.ULSlotBytes <= 0 {
+		return nil, fmt.Errorf("sched: non-positive slot capacity")
+	}
+	if cfg.GrantBytes <= 0 {
+		cfg.GrantBytes = cfg.ULSlotBytes
+	}
+	if cfg.ULGrid == nil {
+		cfg.ULGrid = cfg.Grid
+	}
+	return &Scheduler{cfg: cfg, grantedUL: map[sim.Time]int{}}, nil
+}
+
+// OnSR records a decoded scheduling request.
+func (s *Scheduler) OnSR(r SRRequest) {
+	s.pendingSR = append(s.pendingSR, r)
+}
+
+// PendingSRs returns the number of unserved SRs.
+func (s *Scheduler) PendingSRs() int { return len(s.pendingSR) }
+
+// slotDur returns the slot duration of the grid.
+func (s *Scheduler) slotDur() sim.Duration { return s.cfg.Grid.Mu.SlotDuration() }
+
+// slotIsDLCapable reports whether the slot starting at t has at least
+// needSyms leading DL (or flexible) symbols.
+func (s *Scheduler) slotIsDLCapable(t sim.Time, needSyms int) bool {
+	i := s.cfg.Grid.SymbolAt(t)
+	return s.cfg.Grid.RunOfKind(i, nr.SymDL) >= needSyms
+}
+
+// nextULSlot returns the start of the first slot at or after t that
+// contains UL (or flexible) symbols.
+func (s *Scheduler) nextULSlot(t sim.Time) (sim.Time, bool) {
+	g := s.cfg.ULGrid
+	start := g.SlotStart(t)
+	if start < t {
+		start = start.Add(s.slotDur())
+	}
+	for i := 0; i <= g.Slots()+1; i++ {
+		slot := start.Add(sim.Duration(i) * s.slotDur())
+		sym := g.SymbolAt(slot)
+		run := 0
+		for k := 0; k < nr.SymbolsPerSlot; k++ {
+			kind := g.KindOfSymbol(sym + int64(k))
+			if kind == nr.SymUL || kind == nr.SymFlexible {
+				run++
+			}
+		}
+		if run > 0 {
+			return slot, true
+		}
+	}
+	return 0, false
+}
+
+// Tick runs the scheduling instant at boundary b: it plans the DL slot
+// b + margin, issues UL grants for pending SRs, and selects DL queue items.
+// dlQueue is consumed FIFO per the planned capacity; the caller removes the
+// returned DLPlanned IDs.
+func (s *Scheduler) Tick(b sim.Time, dlQueue []DLItem) Plan {
+	plan := Plan{Boundary: b, TargetDL: sim.Never}
+	target := b.Add(sim.Duration(s.cfg.MarginSlots) * s.slotDur())
+
+	// --- DL data allocation ---
+	if s.slotIsDLCapable(target, 2) {
+		plan.TargetDL = target
+		remaining := s.cfg.DLSlotBytes
+		perUE := map[int]*Alloc{}
+		var ueOrder []int
+		for _, item := range dlQueue {
+			if item.Bytes > remaining {
+				break // FIFO: do not reorder past a blocked head-of-line item
+			}
+			remaining -= item.Bytes
+			a, ok := perUE[item.UE]
+			if !ok {
+				a = &Alloc{UE: item.UE, SlotStart: target}
+				perUE[item.UE] = a
+				ueOrder = append(ueOrder, item.UE)
+			}
+			a.Bytes += item.Bytes
+			a.ItemIDs = append(a.ItemIDs, item.ID)
+			plan.DLPlanned = append(plan.DLPlanned, item.ID)
+		}
+		for _, ue := range ueOrder {
+			plan.DLAllocs = append(plan.DLAllocs, *perUE[ue])
+		}
+
+		// --- UL grants ride the DL control of the same planned slot ---
+		earliestUL := target.Add(sim.Duration(1+s.cfg.K2Slots) * s.slotDur())
+		var still []SRRequest
+		for _, sr := range s.pendingSR {
+			if sr.RecvAt > b {
+				still = append(still, sr) // decoded after this boundary
+				continue
+			}
+			ulSlot, ok := s.nextULSlot(earliestUL)
+			if !ok {
+				still = append(still, sr)
+				continue
+			}
+			// Walk forward past slots whose capacity is exhausted.
+			bytes := sr.Bytes
+			if bytes <= 0 {
+				bytes = s.cfg.GrantBytes
+			}
+			for s.grantedUL[ulSlot]+bytes > s.cfg.ULSlotBytes {
+				next, ok2 := s.nextULSlot(ulSlot.Add(s.slotDur()))
+				if !ok2 {
+					break
+				}
+				ulSlot = next
+			}
+			s.grantedUL[ulSlot] += bytes
+			plan.ULGrants = append(plan.ULGrants, Grant{
+				UE: sr.UE, SlotStart: ulSlot, Bytes: bytes, InResponseTo: sr.RecvAt,
+			})
+		}
+		s.pendingSR = still
+	}
+
+	// Garbage-collect capacity bookkeeping for past slots.
+	for t := range s.grantedUL {
+		if t < b {
+			delete(s.grantedUL, t)
+		}
+	}
+	return plan
+}
+
+// ConfiguredGrant returns the standing grant-free allocation for a UE at or
+// after t: the next UL-capable slot. Grant-free resources are pre-allocated
+// in every UL slot (§5: "in grant-free, the resources are pre-allocated to
+// the UE"), at the cost of scalability.
+func (s *Scheduler) ConfiguredGrant(ue int, t sim.Time) (Grant, bool) {
+	slot, ok := s.nextULSlot(t)
+	if !ok {
+		return Grant{}, false
+	}
+	return Grant{UE: ue, SlotStart: slot, Bytes: s.cfg.GrantBytes, InResponseTo: sim.Never}, true
+}
+
+// ULSymbolsOfSlot returns how many UL symbols the slot at t carries and the
+// start of its first UL symbol (for mixed slots the UL region starts
+// mid-slot).
+func (s *Scheduler) ULSymbolsOfSlot(t sim.Time) (start sim.Time, syms int) {
+	g := s.cfg.ULGrid
+	slotStart := g.SlotStart(t)
+	base := g.SymbolAt(slotStart)
+	for k := 0; k < nr.SymbolsPerSlot; k++ {
+		kind := g.KindOfSymbol(base + int64(k))
+		if kind == nr.SymUL || kind == nr.SymFlexible {
+			if syms == 0 {
+				start = g.SymbolStart(base + int64(k))
+			}
+			syms++
+		}
+	}
+	return start, syms
+}

@@ -1,0 +1,218 @@
+package sched
+
+import (
+	"testing"
+
+	"urllcsim/internal/nr"
+	"urllcsim/internal/sim"
+)
+
+func ddduScheduler(t *testing.T, margin int) *Scheduler {
+	t.Helper()
+	g, err := nr.BuildGrid(nr.CommonConfig{Mu: nr.Mu1, Pattern1: nr.PatternDDDU(nr.Mu1)}, 2, "DDDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Grid: g, MarginSlots: margin, K2Slots: 1, DLSlotBytes: 5000, ULSlotBytes: 4000, GrantBytes: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+const slot = sim.Time(500 * 1000) // µ1 slot in ns
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("nil grid accepted")
+	}
+	g, _ := nr.BuildGrid(nr.CommonConfig{Mu: nr.Mu1, Pattern1: nr.PatternDDDU(nr.Mu1)}, 2, "DDDU")
+	if _, err := New(Config{Grid: g, MarginSlots: -1, DLSlotBytes: 1, ULSlotBytes: 1}); err == nil {
+		t.Fatal("negative margin accepted")
+	}
+	if _, err := New(Config{Grid: g, DLSlotBytes: 0, ULSlotBytes: 1}); err == nil {
+		t.Fatal("zero capacity accepted")
+	}
+}
+
+func TestDLAllocationFIFO(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	queue := []DLItem{
+		{ID: 1, UE: 1, Bytes: 2000, EnqueuedAt: 0},
+		{ID: 2, UE: 2, Bytes: 2000, EnqueuedAt: 10},
+		{ID: 3, UE: 1, Bytes: 2000, EnqueuedAt: 20}, // exceeds 5000B capacity
+	}
+	plan := s.Tick(0, queue)
+	if plan.TargetDL != slot {
+		t.Fatalf("target = %v, want %v", plan.TargetDL, slot)
+	}
+	if len(plan.DLPlanned) != 2 || plan.DLPlanned[0] != 1 || plan.DLPlanned[1] != 2 {
+		t.Fatalf("planned = %v, want FIFO [1 2]", plan.DLPlanned)
+	}
+	if len(plan.DLAllocs) != 2 {
+		t.Fatalf("allocs = %+v", plan.DLAllocs)
+	}
+	for _, a := range plan.DLAllocs {
+		if a.SlotStart != slot || a.Bytes != 2000 {
+			t.Fatalf("alloc = %+v", a)
+		}
+	}
+}
+
+func TestDLAllocationMergesPerUE(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	queue := []DLItem{
+		{ID: 1, UE: 7, Bytes: 1000},
+		{ID: 2, UE: 7, Bytes: 1500},
+	}
+	plan := s.Tick(0, queue)
+	if len(plan.DLAllocs) != 1 || plan.DLAllocs[0].Bytes != 2500 || len(plan.DLAllocs[0].ItemIDs) != 2 {
+		t.Fatalf("merge failed: %+v", plan.DLAllocs)
+	}
+}
+
+func TestNoDLSlotNoAllocation(t *testing.T) {
+	// DDDU with margin 1: boundary at slot 2 targets slot 3 (UL) — no DL.
+	s := ddduScheduler(t, 1)
+	plan := s.Tick(2*slot, []DLItem{{ID: 1, UE: 1, Bytes: 100}})
+	if plan.TargetDL != sim.Never || len(plan.DLPlanned) != 0 {
+		t.Fatalf("allocated into a UL slot: %+v", plan)
+	}
+}
+
+func TestSRGrantTiming(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	// SR decoded at t=100µs (during slot 0).
+	s.OnSR(SRRequest{UE: 3, RecvAt: sim.Time(100_000), Bytes: 300})
+	if s.PendingSRs() != 1 {
+		t.Fatal("SR not recorded")
+	}
+	// Boundary at slot 1 (t=0.5ms): grant rides slot 2's control (margin 1);
+	// earliest UL = target + (1+k2)=2 slots = slot 4 → but slot 4 is DL
+	// (pattern DDDU repeats: slot 4=D, 5=D, 6=D, 7=U) → slot 7.
+	plan := s.Tick(slot, nil)
+	if len(plan.ULGrants) != 1 {
+		t.Fatalf("grants = %+v", plan.ULGrants)
+	}
+	g := plan.ULGrants[0]
+	if g.UE != 3 || g.Bytes != 300 {
+		t.Fatalf("grant = %+v", g)
+	}
+	if g.SlotStart != 7*slot {
+		t.Fatalf("grant slot = %v, want slot 7 (%v)", g.SlotStart, 7*slot)
+	}
+	if s.PendingSRs() != 0 {
+		t.Fatal("SR not consumed")
+	}
+}
+
+func TestSRNotGrantedBeforeDecoded(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	s.OnSR(SRRequest{UE: 3, RecvAt: sim.Time(600_000)}) // decoded during slot 1
+	plan := s.Tick(slot, nil)                           // boundary at 0.5ms: SR not yet decoded
+	if len(plan.ULGrants) != 0 || s.PendingSRs() != 1 {
+		t.Fatalf("premature grant: %+v", plan.ULGrants)
+	}
+	plan = s.Tick(2*slot, nil) // boundary slot2 targets slot 3 = UL → no DL control
+	if len(plan.ULGrants) != 0 {
+		t.Fatal("grant issued without DL control opportunity")
+	}
+	plan = s.Tick(3*slot, nil) // targets slot 4 (D): grant goes out
+	if len(plan.ULGrants) != 1 {
+		t.Fatalf("grant missing: %+v", plan)
+	}
+}
+
+func TestULCapacitySpillsToNextSlot(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	for i := 0; i < 3; i++ {
+		s.OnSR(SRRequest{UE: i, RecvAt: 0, Bytes: 2000}) // 2 fit per 4000B slot
+	}
+	plan := s.Tick(slot, nil)
+	if len(plan.ULGrants) != 3 {
+		t.Fatalf("grants = %d", len(plan.ULGrants))
+	}
+	slots := map[sim.Time]int{}
+	for _, g := range plan.ULGrants {
+		slots[g.SlotStart] += g.Bytes
+	}
+	if len(slots) != 2 {
+		t.Fatalf("grants packed into %d slots, want spill to 2: %v", len(slots), slots)
+	}
+	for t0, b := range slots {
+		if b > 4000 {
+			t.Fatalf("slot %v over capacity: %d", t0, b)
+		}
+	}
+}
+
+func TestZeroByteSRUsesDefaultGrant(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	s.OnSR(SRRequest{UE: 1, RecvAt: 0, Bytes: 0})
+	plan := s.Tick(slot, nil)
+	if len(plan.ULGrants) != 1 || plan.ULGrants[0].Bytes != 200 {
+		t.Fatalf("default grant wrong: %+v", plan.ULGrants)
+	}
+}
+
+func TestConfiguredGrant(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	g, ok := s.ConfiguredGrant(5, sim.Time(100))
+	if !ok || g.SlotStart != 3*slot {
+		t.Fatalf("configured grant = %+v, want slot 3", g)
+	}
+	if g.InResponseTo != sim.Never {
+		t.Fatal("configured grant must not reference an SR")
+	}
+	// From inside the UL slot, the next opportunity is the next pattern's
+	// UL slot.
+	g2, _ := s.ConfiguredGrant(5, 3*slot+1)
+	if g2.SlotStart != 7*slot {
+		t.Fatalf("next configured grant = %v, want slot 7", g2.SlotStart)
+	}
+}
+
+func TestULSymbolsOfSlot(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	start, syms := s.ULSymbolsOfSlot(3 * slot)
+	if syms != 14 || start != 3*slot {
+		t.Fatalf("UL slot 3: start=%v syms=%d", start, syms)
+	}
+	_, syms = s.ULSymbolsOfSlot(0)
+	if syms != 0 {
+		t.Fatalf("DL slot 0 has %d UL symbols", syms)
+	}
+}
+
+func TestMixedSlotULRegion(t *testing.T) {
+	g, err := nr.BuildGrid(nr.CommonConfig{Mu: nr.Mu2, Pattern1: nr.PatternDM(nr.Mu2, 6, 6)}, 0, "DM")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Grid: g, MarginSlots: 0, DLSlotBytes: 1000, ULSlotBytes: 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mixedStart := sim.Time(250_000)
+	start, syms := s.ULSymbolsOfSlot(mixedStart)
+	if syms != 6 {
+		t.Fatalf("mixed slot UL symbols = %d, want 6", syms)
+	}
+	wantStart := mixedStart + sim.Time(8*250_000/14)
+	if start != wantStart {
+		t.Fatalf("mixed UL region starts at %v, want %v", start, wantStart)
+	}
+}
+
+func TestGrantCapacityGCPastSlots(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	s.OnSR(SRRequest{UE: 1, RecvAt: 0, Bytes: 4000})
+	s.Tick(slot, nil)
+	if len(s.grantedUL) == 0 {
+		t.Fatal("capacity bookkeeping empty after grant")
+	}
+	s.Tick(100*slot, nil)
+	if len(s.grantedUL) != 0 {
+		t.Fatalf("stale capacity entries survive: %v", s.grantedUL)
+	}
+}

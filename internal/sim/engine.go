@@ -1,0 +1,157 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Event is a scheduled callback. Events compare by time, then by sequence
+// number, so events scheduled for the same instant run in scheduling order
+// (FIFO). That stability is what makes whole-system runs reproducible.
+type Event struct {
+	When Time
+	Name string // for tracing; not used for ordering
+	Fn   func()
+
+	seq   uint64
+	index int // heap index; -1 when not queued
+	dead  bool
+}
+
+// Cancel prevents a pending event from firing. Cancelling an event that has
+// already fired (or was never scheduled) is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether the event was cancelled before firing.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].When != q[j].When {
+		return q[i].When < q[j].When
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is the discrete-event simulation core. It is not safe for concurrent
+// use: a simulation is a single logical thread of control, and all model code
+// runs inside event callbacks.
+type Engine struct {
+	now     Time
+	queue   eventQueue
+	seq     uint64
+	steps   uint64
+	stopped bool
+
+	// Tracer, when non-nil, is invoked for every fired event. It is used by
+	// the journey tracer (cmd/urllc-trace) and by engine tests.
+	Tracer func(t Time, name string)
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Steps returns the number of events fired so far.
+func (e *Engine) Steps() uint64 { return e.steps }
+
+// Pending returns the number of queued (possibly cancelled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Schedule queues fn to run at absolute time when. Scheduling in the past is
+// a programming error and panics: silently reordering time would corrupt
+// every latency measurement downstream.
+func (e *Engine) Schedule(when Time, name string, fn func()) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, when, e.now))
+	}
+	ev := &Event{When: when, Name: name, Fn: fn, seq: e.seq, index: -1}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After queues fn to run d after the current time.
+func (e *Engine) After(d Duration, name string, fn func()) *Event {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
+	}
+	return e.Schedule(e.now.Add(d), name, fn)
+}
+
+// Stop makes Run return after the currently firing event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Run fires events until the queue is empty, the horizon is passed, or Stop
+// is called. It returns the time of the last fired event. Events scheduled
+// exactly at the horizon still fire; later ones remain queued.
+func (e *Engine) Run(horizon Time) Time {
+	e.stopped = false
+	for len(e.queue) > 0 && !e.stopped {
+		next := e.queue[0]
+		if horizon >= 0 && next.When > horizon {
+			// Advance the clock to the horizon so a subsequent Run or
+			// Schedule sees a consistent notion of "now".
+			e.now = horizon
+			return e.now
+		}
+		heap.Pop(&e.queue)
+		if next.dead {
+			continue
+		}
+		e.now = next.When
+		e.steps++
+		if e.Tracer != nil {
+			e.Tracer(e.now, next.Name)
+		}
+		next.Fn()
+	}
+	return e.now
+}
+
+// RunAll runs with no horizon.
+func (e *Engine) RunAll() Time { return e.Run(Never) }
+
+// Step fires exactly one event (skipping cancelled ones) and reports whether
+// an event fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		next := heap.Pop(&e.queue).(*Event)
+		if next.dead {
+			continue
+		}
+		e.now = next.When
+		e.steps++
+		if e.Tracer != nil {
+			e.Tracer(e.now, next.Name)
+		}
+		next.Fn()
+		return true
+	}
+	return false
+}

@@ -1,0 +1,349 @@
+package stack
+
+import (
+	"bytes"
+	"testing"
+
+	"urllcsim/internal/channel"
+	"urllcsim/internal/crypto5g"
+	"urllcsim/internal/modulation"
+	"urllcsim/internal/pdu"
+	"urllcsim/internal/sim"
+)
+
+func testKeys() ([]byte, []byte) {
+	ck := make([]byte, 16)
+	ik := make([]byte, 16)
+	for i := range ck {
+		ck[i] = byte(i)
+		ik[i] = byte(0xF0 - i)
+	}
+	return ck, ik
+}
+
+func TestSDAPEntity(t *testing.T) {
+	s := &SDAP{QFI: 5}
+	data := []byte("app payload")
+	enc := s.Encap(data)
+	got, err := s.Decap(enc)
+	if err != nil || !bytes.Equal(got, data) {
+		t.Fatalf("SDAP round trip: %v", err)
+	}
+	// Wrong QFI is rejected.
+	other := &SDAP{QFI: 6}
+	if _, err := other.Decap(enc); err == nil {
+		t.Fatal("QFI mismatch accepted")
+	}
+}
+
+func TestPDCPProtectUnprotect(t *testing.T) {
+	ck, ik := testKeys()
+	tx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 1, Direction: crypto5g.Uplink, CipherKey: ck, IntegKey: ik}
+	rx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 1, Direction: crypto5g.Uplink, CipherKey: ck, IntegKey: ik}
+	for i := 0; i < 50; i++ {
+		msg := []byte{byte(i), 1, 2, 3}
+		prot, err := tx.Protect(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rx.Unprotect(prot)
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("PDCP %d: %v", i, err)
+		}
+	}
+}
+
+func TestPDCPCiphertextNotPlaintext(t *testing.T) {
+	ck, _ := testKeys()
+	tx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 1, Direction: crypto5g.Downlink, CipherKey: ck}
+	msg := []byte("secret user data, clearly visible if ciphering is broken")
+	prot, err := tx.Protect(msg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(prot, msg[:16]) {
+		t.Fatal("plaintext leaked into PDCP PDU")
+	}
+}
+
+func TestPDCPIntegrityTamperDetected(t *testing.T) {
+	ck, ik := testKeys()
+	tx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 2, Direction: crypto5g.Uplink, CipherKey: ck, IntegKey: ik}
+	rx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 2, Direction: crypto5g.Uplink, CipherKey: ck, IntegKey: ik}
+	prot, _ := tx.Protect([]byte("do not touch"))
+	prot[len(prot)-5] ^= 0x40 // tamper with ciphertext
+	if _, err := rx.Unprotect(prot); err == nil {
+		t.Fatal("tampered PDU passed integrity")
+	}
+}
+
+func TestPDCPWrongKeysFail(t *testing.T) {
+	ck, ik := testKeys()
+	tx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 2, Direction: crypto5g.Uplink, CipherKey: ck, IntegKey: ik}
+	rx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 2, Direction: crypto5g.Uplink, CipherKey: ck, IntegKey: ck}
+	prot, _ := tx.Protect([]byte("hello"))
+	if _, err := rx.Unprotect(prot); err == nil {
+		t.Fatal("wrong integrity key accepted")
+	}
+}
+
+func TestPDCPSNWrapAround(t *testing.T) {
+	ck, _ := testKeys()
+	tx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 1, Direction: crypto5g.Uplink, CipherKey: ck}
+	rx := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 1, Direction: crypto5g.Uplink, CipherKey: ck}
+	// Drive COUNT past the 12-bit SN wrap.
+	for i := 0; i < 5000; i++ {
+		msg := []byte{byte(i), byte(i >> 8)}
+		prot, err := tx.Protect(msg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := rx.Unprotect(prot)
+		if err != nil || !bytes.Equal(got, msg) {
+			t.Fatalf("wrap failure at COUNT %d: %v", i, err)
+		}
+	}
+}
+
+func TestRLCQueue(t *testing.T) {
+	r := NewRLC()
+	r.Enqueue(RLCQueued{ID: 1, Data: []byte("aa"), EnqueuedAt: 10})
+	r.Enqueue(RLCQueued{ID: 2, Data: []byte("bbbb"), EnqueuedAt: 20})
+	r.Enqueue(RLCQueued{ID: 3, Data: []byte("c"), EnqueuedAt: 30})
+	if r.QueueLen() != 3 || r.QueuedBytes() != 7 {
+		t.Fatalf("queue: %d items %dB", r.QueueLen(), r.QueuedBytes())
+	}
+	taken := r.DequeueIDs([]int{1, 3})
+	if len(taken) != 2 || taken[0].ID != 1 || taken[1].ID != 3 {
+		t.Fatalf("dequeue = %+v", taken)
+	}
+	if r.QueueLen() != 1 || r.Peek()[0].ID != 2 {
+		t.Fatal("remaining queue wrong")
+	}
+}
+
+func TestRLCSegmentReceive(t *testing.T) {
+	tx := NewRLC()
+	rx := NewRLC()
+	sdu := make([]byte, 500)
+	for i := range sdu {
+		sdu[i] = byte(i * 7)
+	}
+	pdus, err := tx.Segment(sdu, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pdus) < 4 {
+		t.Fatalf("segments = %d", len(pdus))
+	}
+	var got []byte
+	for i, p := range pdus {
+		out, err := rx.Receive(p)
+		if err != nil {
+			t.Fatalf("receive %d: %v", i, err)
+		}
+		if i < len(pdus)-1 && out != nil {
+			t.Fatalf("SDU completed early at %d", i)
+		}
+		if out != nil {
+			got = out
+		}
+	}
+	if !bytes.Equal(got, sdu) {
+		t.Fatal("reassembled SDU differs")
+	}
+}
+
+func TestRLCInterleavedSNs(t *testing.T) {
+	tx := NewRLC()
+	rx := NewRLC()
+	a, _ := tx.Segment(bytes.Repeat([]byte{1}, 300), 128)
+	b, _ := tx.Segment(bytes.Repeat([]byte{2}, 300), 128)
+	// Interleave the two SDUs' segments.
+	var done int
+	for i := 0; i < len(a) || i < len(b); i++ {
+		for _, set := range [][][]byte{a, b} {
+			if i < len(set) {
+				out, err := rx.Receive(set[i])
+				if err != nil {
+					t.Fatal(err)
+				}
+				if out != nil {
+					done++
+				}
+			}
+		}
+	}
+	if done != 2 {
+		t.Fatalf("completed %d SDUs, want 2", done)
+	}
+}
+
+func TestRLCSNIncrements(t *testing.T) {
+	tx := NewRLC()
+	p1, _ := tx.Segment([]byte("x"), 100)
+	p2, _ := tx.Segment(bytes.Repeat([]byte{9}, 300), 100)
+	full, err := pdu.DecodeRLCUM(p1[0])
+	if err != nil || full.SI != pdu.SIFull {
+		t.Fatal("first SDU should be SIFull")
+	}
+	seg, err := pdu.DecodeRLCUM(p2[0])
+	if err != nil || seg.SN != 1 {
+		t.Fatalf("second SDU SN = %d, want 1", seg.SN)
+	}
+}
+
+func TestMACMuxDemux(t *testing.T) {
+	m := &MAC{LCID: 4}
+	payloads := [][]byte{[]byte("pdu one"), []byte("pdu two")}
+	tb, err := m.BuildTB(payloads, 64)
+	if err != nil || len(tb) != 64 {
+		t.Fatalf("BuildTB: %d %v", len(tb), err)
+	}
+	got, err := m.ParseTB(tb)
+	if err != nil || len(got) != 2 || !bytes.Equal(got[0], payloads[0]) {
+		t.Fatalf("ParseTB: %v %v", got, err)
+	}
+	// A different LCID sees nothing.
+	other := &MAC{LCID: 5}
+	none, err := other.ParseTB(tb)
+	if err != nil || len(none) != 0 {
+		t.Fatal("LCID filter leaked")
+	}
+}
+
+func TestPHYAnalyticGoodAndBadSNR(t *testing.T) {
+	mcs, _ := modulation.MCSByIndex(10)
+	rng := sim.NewRNG(1)
+	good := NewPHY(PHYAnalytic, mcs, channel.AWGN{SNR: 30}, rng)
+	tb := make([]byte, 200)
+	for i := 0; i < 100; i++ {
+		got, err := good.Transmit(tb, 0)
+		if err != nil || !bytes.Equal(got, tb) {
+			t.Fatalf("good channel lost a block: %v", err)
+		}
+	}
+	bad := NewPHY(PHYAnalytic, mcs, channel.AWGN{SNR: -5}, rng)
+	losses := 0
+	for i := 0; i < 100; i++ {
+		if _, err := bad.Transmit(tb, 0); err != nil {
+			losses++
+		}
+	}
+	if losses < 95 {
+		t.Fatalf("bad channel lost only %d/100", losses)
+	}
+}
+
+func TestPHYFullChain(t *testing.T) {
+	mcs, _ := modulation.MCSByIndex(3) // QPSK
+	rng := sim.NewRNG(2)
+	phy := NewPHY(PHYFull, mcs, channel.AWGN{SNR: 9}, rng)
+	tb := make([]byte, 120)
+	for i := range tb {
+		tb[i] = byte(i * 13)
+	}
+	ok := 0
+	for i := 0; i < 20; i++ {
+		got, err := phy.Transmit(tb, sim.Time(i))
+		if err == nil && bytes.Equal(got, tb) {
+			ok++
+		}
+	}
+	// QPSK@9dB → BER≈1e-5 → with K=7 coding essentially always decodable.
+	if ok < 19 {
+		t.Fatalf("full chain succeeded only %d/20", ok)
+	}
+}
+
+func TestPHYFullChainFailsInDeepFade(t *testing.T) {
+	mcs, _ := modulation.MCSByIndex(3)
+	rng := sim.NewRNG(3)
+	phy := NewPHY(PHYFull, mcs, channel.AWGN{SNR: -3}, rng)
+	tb := make([]byte, 120)
+	fails := 0
+	for i := 0; i < 10; i++ {
+		if _, err := phy.Transmit(tb, sim.Time(i)); err != nil {
+			fails++
+		}
+	}
+	if fails < 9 {
+		t.Fatalf("deep fade decoded %d/10 blocks — CRC must catch garbage", 10-fails)
+	}
+}
+
+func TestPHYAirTime(t *testing.T) {
+	mcs, _ := modulation.MCSByIndex(10)
+	phy := NewPHY(PHYAnalytic, mcs, channel.AWGN{SNR: 20}, sim.NewRNG(4))
+	sym := 250 * sim.Microsecond / 14
+	at, err := phy.AirTime(32, 106, sym)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at < sym || at > 2*sym {
+		t.Fatalf("32B air time = %v, want 1–2 symbols", at)
+	}
+}
+
+// Full UL data plane: APP → SDAP → PDCP → RLC → MAC → PHY → MAC → RLC →
+// PDCP → SDAP with real bytes end to end.
+func TestFullUserPlaneChain(t *testing.T) {
+	ck, ik := testKeys()
+	app := []byte("ping request: 32 bytes payload..")
+
+	txSDAP := &SDAP{QFI: 1}
+	txPDCP := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 4, Direction: crypto5g.Uplink, CipherKey: ck, IntegKey: ik}
+	txRLC := NewRLC()
+	txMAC := &MAC{LCID: 4}
+
+	rxSDAP := &SDAP{QFI: 1}
+	rxPDCP := &PDCP{SNBits: pdu.PDCPSN12, Bearer: 4, Direction: crypto5g.Uplink, CipherKey: ck, IntegKey: ik}
+	rxRLC := NewRLC()
+	rxMAC := &MAC{LCID: 4}
+
+	mcs, _ := modulation.MCSByIndex(10)
+	phy := NewPHY(PHYAnalytic, mcs, channel.AWGN{SNR: 25}, sim.NewRNG(5))
+
+	sdap := txSDAP.Encap(app)
+	pdcp, err := txPDCP.Protect(sdap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rlcs, err := txRLC.Segment(pdcp, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb, err := txMAC.BuildTB(rlcs, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rxTB, err := phy.Transmit(tb, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads, err := rxMAC.ParseTB(rxTB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sdu []byte
+	for _, p := range payloads {
+		out, err := rxRLC.Receive(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out != nil {
+			sdu = out
+		}
+	}
+	if sdu == nil {
+		t.Fatal("RLC never completed the SDU")
+	}
+	plain, err := rxPDCP.Unprotect(sdu)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := rxSDAP.Decap(plain)
+	if err != nil || !bytes.Equal(got, app) {
+		t.Fatalf("end-to-end chain: %q %v", got, err)
+	}
+}
