@@ -1,0 +1,22 @@
+GO ?= go
+
+.PHONY: check vet build test race bench
+
+## check: full verification gate — vet, build, race-enabled tests
+check: vet build race
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## bench: regenerate every table/figure benchmark plus the tracing-overhead gate
+bench:
+	$(GO) test -bench=. -benchmem ./...

@@ -2,18 +2,24 @@
 // through the full simulated stack: every step, attributed to the paper's
 // three latency sources (protocol / processing / radio).
 //
-//	urllc-trace                 # grant-based UL ping on the §7 testbed
-//	urllc-trace -dl             # downlink journey
-//	urllc-trace -grantfree      # grant-free UL
+//	urllc-trace                       # grant-based UL ping on the §7 testbed
+//	urllc-trace -dl                   # downlink journey
+//	urllc-trace -grantfree            # grant-free UL
+//	urllc-trace -json                 # machine-readable result + spans on stdout
+//	urllc-trace -trace-out trace.json # Chrome trace-event JSON (open in Perfetto)
+//	urllc-trace -jsonl-out events.jsonl -metrics-out metrics.csv
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"urllcsim"
+	"urllcsim/internal/obs"
 )
 
 func main() {
@@ -21,7 +27,18 @@ func main() {
 	grantFree := flag.Bool("grantfree", false, "grant-free UL")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	at := flag.Duration("at", 337*time.Microsecond, "arrival time within the TDD pattern")
+	jsonOut := flag.Bool("json", false, "print the result as JSON (with structured spans) instead of text")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
+	jsonlOut := flag.String("jsonl-out", "", "write the structured event log (one JSON object per line) to this file")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry summary as CSV to this file")
 	flag.Parse()
+
+	// Observability is opt-in: the recorder exists only when some output
+	// needs it, so the default text path runs the exact legacy pipeline.
+	var rec *obs.Recorder
+	if *jsonOut || *traceOut != "" || *jsonlOut != "" || *metricsOut != "" {
+		rec = obs.NewRecorder()
+	}
 
 	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
 		Pattern:   urllcsim.PatternDDDU,
@@ -29,15 +46,17 @@ func main() {
 		GrantFree: *grantFree,
 		Radio:     urllcsim.RadioUSB2,
 		Seed:      *seed,
+		Obs:       rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+	var id int
 	if *dl {
-		sc.SendDownlink(*at, 32)
+		id = sc.SendDownlink(*at, 32)
 	} else {
-		sc.SendUplink(*at, 32)
+		id = sc.SendUplink(*at, 32)
 	}
 	rs := sc.Run(100 * time.Millisecond)
 	if len(rs) == 0 {
@@ -45,6 +64,37 @@ func main() {
 		os.Exit(1)
 	}
 	r := rs[0]
+
+	if *traceOut != "" {
+		if err := obs.WriteFile(*traceOut, func(w io.Writer) error {
+			return obs.WriteChromeTrace(w, rec)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *jsonlOut != "" {
+		if err := obs.WriteFile(*jsonlOut, func(w io.Writer) error {
+			return obs.WriteJSONL(w, rec)
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *metricsOut != "" {
+		if err := obs.WriteFile(*metricsOut, func(w io.Writer) error {
+			return obs.WriteMetricsCSV(w, rec.Metrics())
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut {
+		printJSON(r, rec.PacketSpans(id))
+		return
+	}
+
 	dirName := "uplink"
 	if *dl {
 		dirName = "downlink"
@@ -59,4 +109,48 @@ func main() {
 	fmt.Print(r.Journey)
 	fmt.Printf("\nshares: protocol %.0f%%, processing %.0f%%, radio %.0f%%\n",
 		100*r.ProtocolShare, 100*r.ProcessingShare, 100*r.RadioShare)
+}
+
+// jsonResult is the -json stdout shape: the packet outcome plus its
+// structured spans (times in µs, the paper's unit).
+type jsonResult struct {
+	ID              int        `json:"id"`
+	Uplink          bool       `json:"uplink"`
+	Delivered       bool       `json:"delivered"`
+	LatencyUs       float64    `json:"latency_us"`
+	Attempts        int        `json:"attempts"`
+	ProtocolShare   float64    `json:"protocol_share"`
+	ProcessingShare float64    `json:"processing_share"`
+	RadioShare      float64    `json:"radio_share"`
+	Spans           []jsonSpan `json:"spans"`
+}
+
+type jsonSpan struct {
+	Step    string  `json:"step"`
+	Layer   string  `json:"layer"`
+	Source  string  `json:"source"`
+	StartUs float64 `json:"start_us"`
+	DurUs   float64 `json:"dur_us"`
+}
+
+func printJSON(r urllcsim.PacketResult, spans []obs.Span) {
+	out := jsonResult{
+		ID: r.ID, Uplink: r.Uplink, Delivered: r.Delivered,
+		LatencyUs: float64(r.Latency) / 1000, Attempts: r.Attempts,
+		ProtocolShare: r.ProtocolShare, ProcessingShare: r.ProcessingShare,
+		RadioShare: r.RadioShare,
+		Spans:      make([]jsonSpan, 0, len(spans)),
+	}
+	for _, s := range spans {
+		out.Spans = append(out.Spans, jsonSpan{
+			Step: s.Step, Layer: s.Layer.String(), Source: s.Source.String(),
+			StartUs: s.Start.Micros(), DurUs: float64(s.Dur) / 1000,
+		})
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
 }

@@ -8,11 +8,13 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"sort"
 	"time"
 
 	"urllcsim"
+	"urllcsim/internal/obs"
 )
 
 func main() {
@@ -28,6 +30,9 @@ func main() {
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	snr := flag.Float64("snr", 25, "channel SNR (dB)")
 	deadline := flag.Duration("deadline", 500*time.Microsecond, "reliability deadline")
+	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
+	metricsOut := flag.String("metrics-out", "", "write the metrics registry summary as CSV to this file")
+	snapshotsOut := flag.String("snapshots-out", "", "write per-slot counter/gauge snapshots as CSV to this file")
 	flag.Parse()
 
 	scales := map[string]urllcsim.SlotScale{
@@ -49,6 +54,13 @@ func main() {
 		os.Exit(2)
 	}
 
+	// Observability is opt-in: the recorder exists only when some output
+	// needs it, so the default run costs nothing extra.
+	var rec *obs.Recorder
+	if *traceOut != "" || *metricsOut != "" || *snapshotsOut != "" {
+		rec = obs.NewRecorder()
+	}
+
 	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
 		Pattern:   urllcsim.Pattern(*pattern),
 		SlotScale: scale,
@@ -58,6 +70,7 @@ func main() {
 		SNRdB:     *snr,
 		UEs:       *ues,
 		Seed:      *seed,
+		Obs:       rec,
 	})
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -75,6 +88,24 @@ func main() {
 		}
 	}
 	results := sc.Run(time.Duration(*packets+50) * period)
+
+	exports := []struct {
+		path  string
+		write func(io.Writer) error
+	}{
+		{*traceOut, func(w io.Writer) error { return obs.WriteChromeTrace(w, rec) }},
+		{*metricsOut, func(w io.Writer) error { return obs.WriteMetricsCSV(w, rec.Metrics()) }},
+		{*snapshotsOut, func(w io.Writer) error { return obs.WriteSnapshotsCSV(w, rec.Metrics()) }},
+	}
+	for _, ex := range exports {
+		if ex.path == "" {
+			continue
+		}
+		if err := obs.WriteFile(ex.path, ex.write); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	report := func(uplink bool, label string) {
 		var lats []time.Duration

@@ -55,12 +55,15 @@ func (a *Accumulator) Std() float64 {
 	return math.Sqrt(a.m2 / float64(a.n))
 }
 
-// Min returns the smallest observation (0 when empty).
+// Min returns the smallest observation. An empty accumulator returns 0,
+// which is indistinguishable from a genuine minimum of 0 — callers that care
+// must check N() > 0 first.
 func (a *Accumulator) Min() float64 {
 	return a.min
 }
 
-// Max returns the largest observation (0 when empty).
+// Max returns the largest observation. Same empty-value caveat as Min: an
+// empty accumulator returns 0, check N() > 0 to tell the difference.
 func (a *Accumulator) Max() float64 {
 	return a.max
 }
@@ -83,7 +86,9 @@ func NewHistogram(max float64, bins int) *Histogram {
 	return &Histogram{MaxValue: max, Counts: make([]int64, bins)}
 }
 
-// Add records one value.
+// Add records one value. Binning clamps negatives into bin 0 and counts
+// x ≥ MaxValue (boundary included) as overflow; the raw sample is retained
+// unclamped either way, so Percentile/Mean/FractionBelow see the true value.
 func (h *Histogram) Add(x float64) {
 	h.total++
 	h.samples = append(h.samples, x)
@@ -122,7 +127,11 @@ func (h *Histogram) Probability(i int) float64 {
 	return float64(h.Counts[i]) / float64(h.total)
 }
 
-// Percentile returns the exact p-quantile (0 ≤ p ≤ 1) of all samples.
+// Percentile returns the p-quantile (0 ≤ p ≤ 1) of all recorded samples
+// using the floor-index nearest-rank rule: the sample at index ⌊p·(n−1)⌋ of
+// the sorted data. No interpolation — the result is always an observed
+// value, and p = 0.5 over an even count returns the lower middle sample.
+// p ≤ 0 yields the minimum, p ≥ 1 the maximum, and an empty histogram 0.
 func (h *Histogram) Percentile(p float64) float64 {
 	if len(h.samples) == 0 {
 		return 0

@@ -120,6 +120,109 @@ func TestHistogramPercentiles(t *testing.T) {
 	}
 }
 
+// TestPercentileEdgeCases pins the documented floor-index nearest-rank
+// semantics across the awkward inputs: empty data, a single sample, heavy
+// duplicates, even counts, and out-of-range p.
+func TestPercentileEdgeCases(t *testing.T) {
+	cases := []struct {
+		name    string
+		samples []float64
+		p       float64
+		want    float64
+	}{
+		{"empty", nil, 0.5, 0},
+		{"empty p0", nil, 0, 0},
+		{"single p0", []float64{7}, 0, 7},
+		{"single p50", []float64{7}, 0.5, 7},
+		{"single p100", []float64{7}, 1, 7},
+		{"negative p clamps to min", []float64{3, 1, 2}, -0.2, 1},
+		{"p above 1 clamps to max", []float64{3, 1, 2}, 1.5, 3},
+		{"even count takes lower middle", []float64{1, 2, 3, 4}, 0.5, 2}, // ⌊0.5·3⌋ = 1
+		{"odd count exact middle", []float64{1, 2, 3}, 0.5, 2},
+		{"all duplicates", []float64{5, 5, 5, 5}, 0.99, 5},
+		{"duplicates at tail", []float64{1, 9, 9, 9}, 0.5, 9},
+		{"p99 of 1..100", seq(1, 100), 0.99, 99}, // ⌊0.99·99⌋ = 98 → value 99
+		{"unsorted input", []float64{30, 10, 20}, 0, 10},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			h := NewHistogram(1000, 10)
+			for _, x := range c.samples {
+				h.Add(x)
+			}
+			if got := h.Percentile(c.p); got != c.want {
+				t.Fatalf("Percentile(%v) over %v = %v, want %v", c.p, c.samples, got, c.want)
+			}
+		})
+	}
+}
+
+func seq(lo, hi int) []float64 {
+	s := make([]float64, 0, hi-lo+1)
+	for i := lo; i <= hi; i++ {
+		s = append(s, float64(i))
+	}
+	return s
+}
+
+// TestHistogramOverflowBoundary: the overflow boundary is inclusive —
+// x == MaxValue must not index one past the last bin.
+func TestHistogramOverflowBoundary(t *testing.T) {
+	h := NewHistogram(8, 16)
+	h.Add(8)                    // exactly MaxValue
+	h.Add(math.Nextafter(8, 0)) // just below
+	if h.Overflow != 1 {
+		t.Fatalf("x == MaxValue not counted as overflow: %+v", h)
+	}
+	if h.Counts[15] != 1 {
+		t.Fatalf("x just below MaxValue missed last bin: %v", h.Counts)
+	}
+	// The raw sample is retained, so percentiles still see the boundary value.
+	if got := h.Percentile(1); got != 8 {
+		t.Fatalf("p100 = %v, want 8", got)
+	}
+}
+
+// TestHistogramNegativeSamplesRetained: binning clamps, statistics don't.
+func TestHistogramNegativeSamplesRetained(t *testing.T) {
+	h := NewHistogram(1, 4)
+	h.Add(-2)
+	h.Add(2) // overflow bin-wise
+	if h.Counts[0] != 1 || h.Overflow != 1 {
+		t.Fatalf("binning wrong: %+v", h)
+	}
+	if h.Percentile(0) != -2 || h.Mean() != 0 {
+		t.Fatalf("raw samples not retained: p0=%v mean=%v", h.Percentile(0), h.Mean())
+	}
+	if got := h.FractionBelow(0); got != 0.5 {
+		t.Fatalf("FractionBelow(0) = %v, want 0.5", got)
+	}
+}
+
+// TestAccumulatorEmptyMinQuirk documents the footgun: Min()/Max() of an
+// empty accumulator return 0, indistinguishable from a real 0 — N() is the
+// only way to tell.
+func TestAccumulatorEmptyMinQuirk(t *testing.T) {
+	var empty, real Accumulator
+	real.Add(0)
+	if empty.Min() != 0 || empty.Max() != 0 {
+		t.Fatal("empty Min/Max changed from documented 0")
+	}
+	if real.Min() != empty.Min() {
+		t.Fatal("quirk assumption broken")
+	}
+	if empty.N() != 0 || real.N() != 1 {
+		t.Fatal("N() must disambiguate empty from zero-valued")
+	}
+	// Negative-only data would return a negative Min — proving 0 is not a
+	// floor, just the empty value.
+	var neg Accumulator
+	neg.Add(-3.5)
+	if neg.Min() != -3.5 || neg.Max() != -3.5 {
+		t.Fatalf("negative observations mishandled: min=%v max=%v", neg.Min(), neg.Max())
+	}
+}
+
 func TestHistogramEmpty(t *testing.T) {
 	h := NewHistogram(1, 4)
 	if h.Percentile(0.5) != 0 || h.FractionBelow(1) != 0 || h.Mean() != 0 || h.Probability(0) != 0 {

@@ -4,11 +4,69 @@ import (
 	"urllcsim/internal/core"
 	"urllcsim/internal/metrics"
 	"urllcsim/internal/nr"
+	"urllcsim/internal/obs"
 	"urllcsim/internal/proc"
 	"urllcsim/internal/sched"
 	"urllcsim/internal/sim"
 	"urllcsim/internal/stack"
 )
+
+// Counter, gauge and timing names published to the obs registry. One flat
+// namespace, dot-separated, so CSV/Perfetto consumers can filter by prefix.
+const (
+	cSlotsPlanned = "sched.slots_planned" // ticks that planned a DL-capable slot
+	cGrantsIssued = "sched.grants_issued" // SR→grant handshakes completed
+	cRadioMisses  = "sched.radio_misses"  // slots lost to late radio readiness (§4)
+	cSRsSent      = "ul.srs_sent"
+	cHARQRetx     = "harq.retx"
+	cCRCFailures  = "phy.crc_failures" // transport blocks lost on air
+	cRLCRxDrops   = "rlc.rx_drops"     // PDUs dropped in a receive chain
+	cDelivered    = "pkt.delivered"
+	cLost         = "pkt.lost"
+
+	gRLCQueueDepth = "rlc.dl.queue_depth"
+	gSRPending     = "sched.sr_pending"
+	gHARQInflight  = "harq.inflight"
+
+	tLatUL        = "lat.ul"
+	tLatDL        = "lat.dl"
+	tRLCQueueWait = "gnb.rlc_queue_wait"
+)
+
+// gnbTimingName / ueTimingName map a processing layer to its obs timing
+// name, precomputed so the hot path never concatenates strings.
+var gnbTimingName = [...]string{
+	proc.LayerSDAP: "gnb.proc.SDAP", proc.LayerPDCP: "gnb.proc.PDCP",
+	proc.LayerRLC: "gnb.proc.RLC", proc.LayerMAC: "gnb.proc.MAC",
+	proc.LayerPHY: "gnb.proc.PHY",
+}
+var ueTimingName = [...]string{
+	proc.LayerSDAP: "ue.proc.SDAP", proc.LayerPDCP: "ue.proc.PDCP",
+	proc.LayerRLC: "ue.proc.RLC", proc.LayerMAC: "ue.proc.MAC",
+	proc.LayerPHY: "ue.proc.PHY",
+}
+
+// seg records one journey segment twice: in the packet's breakdown (which
+// still renders the exact Fig. 3 text) and as a structured span carrying
+// packet id, direction and stack layer.
+func (s *System) seg(bd *core.Breakdown, id int, dir obs.Dir, layer obs.Layer,
+	step string, src core.Source, start sim.Time, dur sim.Duration) {
+	bd.Add(step, src, start, dur)
+	s.obs.PacketSpan(id, dir, layer, step, src, start, dur)
+}
+
+// harqLaunch / harqResolve maintain the in-flight HARQ process gauge: a
+// transport block enters when scheduled on air and leaves when its packets
+// are delivered, requeued or dropped.
+func (s *System) harqLaunch(n int) {
+	s.harqActive += n
+	s.obs.SetGauge(gHARQInflight, float64(s.harqActive))
+}
+
+func (s *System) harqResolve(n int) {
+	s.harqActive -= n
+	s.obs.SetGauge(gHARQInflight, float64(s.harqActive))
+}
 
 // rlcQ abbreviates the stack's queue entry type in this file.
 type rlcQ = stack.RLCQueued
@@ -24,11 +82,14 @@ func rlcQueued(p *dlPacket) rlcQ {
 func (s *System) sampleGNB(l proc.Layer) sim.Duration {
 	d := s.cfg.GNBProfile.Sample(l, s.cfg.NUEs, s.rng)
 	s.layerStats[l.String()].AddDuration(d)
+	s.obs.Observe(gnbTimingName[l], d)
 	return d
 }
 
 func (s *System) sampleUE(l proc.Layer) sim.Duration {
-	return s.cfg.UEProfile.Sample(l, 1, s.rng)
+	d := s.cfg.UEProfile.Sample(l, 1, s.rng)
+	s.obs.Observe(ueTimingName[l], d)
+	return d
 }
 
 // LayerStats returns the Table 2 accumulators (gNB layers plus emergent
@@ -59,7 +120,11 @@ func (s *System) tick(b sim.Time) {
 	for _, q := range s.gnbRLC.Peek() {
 		items = append(items, sched.DLItem{ID: q.ID, UE: 0, Bytes: len(q.Data), EnqueuedAt: q.EnqueuedAt})
 	}
+	s.obs.SetGauge(gRLCQueueDepth, float64(len(items)))
 	plan := s.sch.Tick(b, items)
+	if plan.TargetDL != sim.Never {
+		s.obs.Count(cSlotsPlanned, 1)
+	}
 
 	if len(plan.DLPlanned) > 0 {
 		// The scheduler consumed these from the RLC queue now: the RLC-q
@@ -68,16 +133,23 @@ func (s *System) tick(b sim.Time) {
 		for _, q := range taken {
 			wait := b.Sub(q.EnqueuedAt)
 			s.layerStats["RLC-q"].AddDuration(wait)
+			s.obs.Observe(tRLCQueueWait, wait)
 			if p := s.dlItems[q.ID]; p != nil {
-				p.bd.Add("⑨ RLC queue (SCHE wait)", core.Protocol, q.EnqueuedAt, wait)
+				s.seg(p.bd, p.id, obs.DirDL, obs.LayerRLC,
+					"⑨ RLC queue (SCHE wait)", core.Protocol, q.EnqueuedAt, wait)
 			}
 		}
 		s.launchDL(b, plan, taken)
 	}
 	for _, g := range plan.ULGrants {
 		s.counters.GrantsIssued++
+		s.obs.Count(cGrantsIssued, 1)
 		s.deliverGrant(plan.TargetDL, g)
 	}
+	s.obs.SetGauge(gSRPending, float64(s.sch.PendingSRs()))
+	// Snapshot the whole registry once per scheduling tick: the snapshot
+	// series is slot-aligned by construction.
+	s.obs.SlotSnapshot(b)
 	s.scheduleTick(s.cfg.Grid.NextSchedBoundary(b))
 }
 
@@ -94,12 +166,12 @@ func (s *System) OfferDL(at sim.Time, payload []byte) int {
 	s.dlItems[id] = p
 	s.Eng.Schedule(at, "dl.offer", func() {
 		// UPF encapsulation and N3 forwarding.
-		p.bd.Add("UPF→gNB (GTP-U)", core.Processing, at, s.cfg.CoreLatency)
+		s.seg(p.bd, p.id, obs.DirDL, obs.LayerCore, "UPF→gNB (GTP-U)", core.Processing, at, s.cfg.CoreLatency)
 		arrive := at.Add(s.cfg.CoreLatency)
 		s.Eng.Schedule(arrive, "dl.gnb.down", func() {
 			// gNB SDAP↓ / PDCP↓ / RLC↓ processing (⑧ in Fig. 3).
 			d := s.sampleGNB(proc.LayerSDAP) + s.sampleGNB(proc.LayerPDCP) + s.sampleGNB(proc.LayerRLC)
-			p.bd.Add("⑧ gNB SDAP↓", core.Processing, arrive, d)
+			s.seg(p.bd, p.id, obs.DirDL, obs.LayerStack, "⑧ gNB SDAP↓", core.Processing, arrive, d)
 			enq := arrive.Add(d)
 			s.Eng.Schedule(enq, "dl.enqueue", func() {
 				p.enqueued = enq
@@ -134,14 +206,15 @@ func (s *System) launchDL(b sim.Time, plan sched.Plan, taken []rlcQ) {
 		if p == nil {
 			continue
 		}
-		p.bd.Add("gNB MAC+PHY", core.Processing, now, macD+phyD)
-		p.bd.Add("gNB→RH submit", core.Radio, now.Add(macD+phyD), submitD)
+		s.seg(p.bd, p.id, obs.DirDL, obs.LayerMAC, "gNB MAC+PHY", core.Processing, now, macD+phyD)
+		s.seg(p.bd, p.id, obs.DirDL, obs.LayerBus, "gNB→RH submit", core.Radio, now.Add(macD+phyD), submitD)
 	}
 
 	if ready > target {
 		// The radio was not ready when the slot started: the transmission
 		// is corrupted (§4). Re-enqueue everything for the next boundary.
 		s.counters.RadioMisses++
+		s.obs.Count(cRadioMisses, 1)
 		s.Eng.Schedule(ready, "dl.radiomiss", func() {
 			for _, q := range taken {
 				if p := s.dlItems[q.ID]; p != nil {
@@ -150,12 +223,25 @@ func (s *System) launchDL(b sim.Time, plan sched.Plan, taken []rlcQ) {
 						s.finishDL(p, ready, false)
 						continue
 					}
-					p.bd.Add("radio miss → requeue", core.Radio, target, ready.Sub(target))
+					s.seg(p.bd, p.id, obs.DirDL, obs.LayerBus,
+						"radio miss → requeue", core.Radio, target, ready.Sub(target))
 					s.gnbRLC.Enqueue(rlcQueued(p)) // keeps original EnqueuedAt
 				}
 			}
 		})
 		return
+	}
+
+	// The slack between radio readiness and the slot going on air is the
+	// price of scheduling ahead (the §4 margin) — protocol latency. Charging
+	// it makes the DL journey partition the one-way latency exactly.
+	if ready < target {
+		for _, q := range taken {
+			if p := s.dlItems[q.ID]; p != nil {
+				s.seg(p.bd, p.id, obs.DirDL, obs.LayerSched,
+					"wait for planned DL slot", core.Protocol, ready, target.Sub(ready))
+			}
+		}
 	}
 
 	// Build one transport block carrying all taken SDUs through the real
@@ -211,9 +297,12 @@ func (s *System) transmitDL(target sim.Time, taken []rlcQ) {
 	}
 	onAirEnd := target.Add(ctrl + air)
 	rx, txErr := s.phyDL.Transmit(tb, target)
+	s.harqLaunch(1)
 	s.Eng.Schedule(onAirEnd, "dl.rx", func() {
+		s.harqResolve(1)
 		if txErr != nil {
 			s.counters.PHYLosses++
+			s.obs.Count(cCRCFailures, 1)
 			// When the feedback loop is modelled, the gNB learns of the
 			// failure only after the UE's NACK travels back: UE decode,
 			// next UL opportunity, one symbol of PUCCH, radio up, gNB PHY.
@@ -240,7 +329,9 @@ func (s *System) transmitDL(target sim.Time, taken []rlcQ) {
 					if p.attempts >= s.cfg.HARQMaxTx {
 						s.finishDL(p, requeueAt, false)
 					} else {
-						p.bd.Add("HARQ retransmission", core.Protocol, target, requeueAt.Sub(target))
+						s.obs.Count(cHARQRetx, 1)
+						s.seg(p.bd, p.id, obs.DirDL, obs.LayerMAC,
+							"HARQ retransmission", core.Protocol, target, requeueAt.Sub(target))
 						s.gnbRLC.Enqueue(rlcQueued(p))
 					}
 				}
@@ -249,7 +340,8 @@ func (s *System) transmitDL(target sim.Time, taken []rlcQ) {
 		}
 		for _, id := range ids {
 			if p := s.dlItems[id]; p != nil {
-				p.bd.Add("⑩ DL data on air", core.Protocol, target, onAirEnd.Sub(target))
+				s.seg(p.bd, p.id, obs.DirDL, obs.LayerAir,
+					"⑩ DL data on air", core.Protocol, target, onAirEnd.Sub(target))
 			}
 		}
 		s.ueReceiveDL(onAirEnd, rx, ids)
@@ -272,7 +364,11 @@ func (s *System) ueReceiveDL(at sim.Time, tb []byte, ids []int) {
 		var delivered [][]byte
 		for _, pl := range payloads {
 			sdu, err := s.ueRLCRx.Receive(pl)
-			if err != nil || sdu == nil {
+			if err != nil {
+				s.obs.Count(cRLCRxDrops, 1)
+				continue
+			}
+			if sdu == nil {
 				continue
 			}
 			plain, err := s.uePDCPRx.Unprotect(sdu)
@@ -291,7 +387,7 @@ func (s *System) ueReceiveDL(at sim.Time, tb []byte, ids []int) {
 				continue
 			}
 			ok := i < len(delivered) && len(delivered[i]) == len(p.data)
-			p.bd.Add("⑪ UE PHY↑…APP↑", core.Processing, at, d)
+			s.seg(p.bd, p.id, obs.DirDL, obs.LayerStack, "⑪ UE PHY↑…APP↑", core.Processing, at, d)
 			s.finishDL(p, done, ok)
 		}
 	})
@@ -303,8 +399,15 @@ func (s *System) finishDL(p *dlPacket, at sim.Time, ok bool) {
 	}
 	s.done[p.id] = true
 	delete(s.dlItems, p.id)
+	lat := at.Sub(p.offered)
+	if ok {
+		s.obs.Count(cDelivered, 1)
+		s.obs.Observe(tLatDL, lat)
+	} else {
+		s.obs.Count(cLost, 1)
+	}
 	s.results = append(s.results, Result{
 		ID: p.id, Uplink: false, Delivered: ok,
-		Latency: at.Sub(p.offered), Breakdown: *p.bd, Attempts: p.attempts + 1,
+		Latency: lat, Breakdown: *p.bd, Attempts: p.attempts + 1,
 	})
 }

@@ -17,6 +17,7 @@ import (
 	"urllcsim/internal/metrics"
 	"urllcsim/internal/modulation"
 	"urllcsim/internal/nr"
+	"urllcsim/internal/obs"
 	"urllcsim/internal/pdu"
 	"urllcsim/internal/proc"
 	"urllcsim/internal/radio"
@@ -76,6 +77,11 @@ type Config struct {
 
 	// NUEs scales processing load (§7: more UEs, more processing).
 	NUEs int
+
+	// Obs, when non-nil, receives structured spans for every journey
+	// segment, named counters/gauges for system events, and slot-aligned
+	// metric snapshots. Nil disables observability at near-zero cost.
+	Obs *obs.Recorder
 
 	// FullPHY runs every transport block through the genuine PHY chain
 	// (CRC → convolutional FEC → QAM → hard-decision channel → Viterbi →
@@ -180,6 +186,12 @@ type System struct {
 	// Table 2 instrumentation.
 	layerStats map[string]*metrics.Accumulator
 
+	// obs is the structured observability sink (nil when disabled).
+	obs *obs.Recorder
+	// harqActive counts transport blocks launched on air and not yet
+	// resolved (the in-flight HARQ process gauge).
+	harqActive int
+
 	nextID  int
 	results []Result
 	done    map[int]bool
@@ -275,6 +287,10 @@ func NewSystem(cfg Config) (*System, error) {
 		done:       map[int]bool{},
 		pingByUL:   map[int]*pingCtx{},
 		pingDLID:   map[int]int{},
+		obs:        cfg.Obs,
+	}
+	if s.obs != nil {
+		s.Eng.Sink = s.obs
 	}
 	phyMode := stack.PHYAnalytic
 	if cfg.FullPHY {

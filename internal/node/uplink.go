@@ -5,6 +5,7 @@ import (
 
 	"urllcsim/internal/core"
 	"urllcsim/internal/nr"
+	"urllcsim/internal/obs"
 	"urllcsim/internal/proc"
 	"urllcsim/internal/sched"
 	"urllcsim/internal/sim"
@@ -32,7 +33,7 @@ func (s *System) OfferUL(at sim.Time, payload []byte) int {
 	s.Eng.Schedule(at, "ul.offer", func() {
 		// ① UE APP↓: SDAP/PDCP/RLC processing before the MAC can act.
 		d := s.sampleUE(proc.LayerSDAP) + s.sampleUE(proc.LayerPDCP) + s.sampleUE(proc.LayerRLC)
-		p.bd.Add("① UE APP↓", core.Processing, at, d)
+		s.seg(p.bd, p.id, obs.DirUL, obs.LayerStack, "① UE APP↓", core.Processing, at, d)
 		p.ready = at.Add(d)
 		s.Eng.Schedule(p.ready, "ul.ready", func() {
 			if s.cfg.GrantFree {
@@ -54,8 +55,9 @@ func (s *System) ulSendSR(p *ulPacket) {
 		s.finishUL(p, p.ready, false)
 		return
 	}
-	p.bd.Add("② wait for UL slot + SR", core.Protocol, p.ready, srStart.Sub(p.ready)+sym)
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerSched, "② wait for UL slot + SR", core.Protocol, p.ready, srStart.Sub(p.ready)+sym)
 	s.counters.SRsSent++
+	s.obs.Count(cSRsSent, 1)
 	srEnd := srStart.Add(sym)
 	// ③ gNB radio + PHY decode of the SR.
 	var radioD sim.Duration
@@ -64,8 +66,8 @@ func (s *System) ulSendSR(p *ulPacket) {
 	}
 	phyD := s.sampleGNB(proc.LayerPHY)
 	recvAt := srEnd.Add(radioD + phyD)
-	p.bd.Add("③ gNB SR decode", core.Radio, srEnd, radioD)
-	p.bd.Add("③ gNB PHY", core.Processing, srEnd.Add(radioD), phyD)
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerBus, "③ gNB SR decode", core.Radio, srEnd, radioD)
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerPHY, "③ gNB PHY", core.Processing, srEnd.Add(radioD), phyD)
 	s.Eng.Schedule(recvAt, "ul.sr.recv", func() {
 		p.srRecvAt = recvAt
 		s.sch.OnSR(sched.SRRequest{UE: 0, RecvAt: recvAt, Bytes: len(p.data) + 64})
@@ -86,12 +88,12 @@ func (s *System) deliverGrant(targetDL sim.Time, g sched.Grant) {
 	// ④/⑤: from SR reception to the grant's control symbols landing at the
 	// UE — waiting for the scheduling instant plus the grant on air. All
 	// protocol latency; the UE's grant decode is processing.
-	p.bd.Add("④⑤ UL grant (wait+ctrl)", core.Protocol, p.srRecvAt, ctrlEnd.Sub(p.srRecvAt))
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerSched, "④⑤ UL grant (wait+ctrl)", core.Protocol, p.srRecvAt, ctrlEnd.Sub(p.srRecvAt))
 	decode := s.sampleUE(proc.LayerMAC)
 	haveGrant := ctrlEnd.Add(decode)
-	p.bd.Add("⑥ UE grant decode", core.Processing, ctrlEnd, decode)
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerMAC, "⑥ UE grant decode", core.Processing, ctrlEnd, decode)
 	s.Eng.Schedule(haveGrant, "ul.grant", func() {
-		s.ulTransmitAt(p, g.SlotStart)
+		s.ulTransmitAt(p, g.SlotStart, haveGrant)
 	})
 }
 
@@ -104,13 +106,18 @@ func (s *System) ulTransmitOnGrantFree(p *ulPacket) {
 		s.finishUL(p, p.ready, false)
 		return
 	}
-	p.bd.Add("UE MAC+PHY prep", core.Processing, p.ready, lead)
-	s.ulTransmitAt(p, g.SlotStart)
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerMAC, "UE MAC+PHY prep", core.Processing, p.ready, lead)
+	// The slot wait starts when the UE's preparation ends, not at the
+	// current event time — otherwise prep and wait would overlap and the
+	// journey would double-count the lead.
+	s.ulTransmitAt(p, g.SlotStart, p.ready.Add(lead))
 }
 
 // ulTransmitAt performs the UL data transmission in the UL region of the
-// slot starting at slotStart (⑥→⑦ in Fig. 3).
-func (s *System) ulTransmitAt(p *ulPacket, slotStart sim.Time) {
+// slot starting at slotStart (⑥→⑦ in Fig. 3). from is the instant the
+// packet became ready for this transmission (grant decoded / prep done);
+// the wait-for-slot segment is charged from there.
+func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 	sym := s.cfg.ULGrid.Mu.SymbolDuration()
 	if now := s.Eng.Now(); slotStart < now {
 		// The granted slot already passed (pathological margins): fall
@@ -155,15 +162,17 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart sim.Time) {
 	if air > sim.Duration(ulSyms)*sym {
 		air = sim.Duration(ulSyms) * sym
 	}
-	now := s.Eng.Now()
-	if ulStart > now {
-		p.bd.Add("⑥ wait for granted UL slot", core.Protocol, now, ulStart.Sub(now))
+	if ulStart > from {
+		s.seg(p.bd, p.id, obs.DirUL, obs.LayerSched, "⑥ wait for granted UL slot", core.Protocol, from, ulStart.Sub(from))
 	}
 	onAirEnd := ulStart.Add(air)
 	rx, txErr := s.phyUL.Transmit(tb, ulStart)
+	s.harqLaunch(1)
 	s.Eng.Schedule(onAirEnd, "ul.rx", func() {
+		s.harqResolve(1)
 		if txErr != nil {
 			s.counters.PHYLosses++
+			s.obs.Count(cCRCFailures, 1)
 			p.attempts++
 			if p.attempts >= s.cfg.HARQMaxTx {
 				s.finishUL(p, onAirEnd, false)
@@ -171,7 +180,8 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart sim.Time) {
 			}
 			// HARQ: retransmit in the next UL opportunity (grant-free) or
 			// after a fresh SR (grant-based).
-			p.bd.Add("HARQ retransmission", core.Protocol, ulStart, air)
+			s.obs.Count(cHARQRetx, 1)
+			s.seg(p.bd, p.id, obs.DirUL, obs.LayerMAC, "HARQ retransmission", core.Protocol, ulStart, air)
 			p.ready = onAirEnd
 			if s.cfg.GrantFree {
 				s.ulTransmitOnGrantFree(p)
@@ -180,7 +190,7 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart sim.Time) {
 			}
 			return
 		}
-		p.bd.Add("⑥ UL data on air", core.Protocol, ulStart, air)
+		s.seg(p.bd, p.id, obs.DirUL, obs.LayerAir, "⑥ UL data on air", core.Protocol, ulStart, air)
 		s.gnbReceiveUL(onAirEnd, rx, p)
 	})
 }
@@ -191,12 +201,12 @@ func (s *System) gnbReceiveUL(at sim.Time, tb []byte, p *ulPacket) {
 	if s.cfg.GNBRadio != nil {
 		radioD = s.cfg.GNBRadio.RxLatency(s.cfg.Grid.Mu, s.rng)
 	}
-	p.bd.Add("⑦ RH→gNB samples", core.Radio, at, radioD)
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerBus, "⑦ RH→gNB samples", core.Radio, at, radioD)
 	procD := s.sampleGNB(proc.LayerPHY) + s.sampleGNB(proc.LayerMAC) +
 		s.sampleGNB(proc.LayerRLC) + s.sampleGNB(proc.LayerPDCP) + s.sampleGNB(proc.LayerSDAP)
-	p.bd.Add("⑦ gNB PHY↑…SDAP↑", core.Processing, at.Add(radioD), procD)
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerStack, "⑦ gNB PHY↑…SDAP↑", core.Processing, at.Add(radioD), procD)
 	done := at.Add(radioD + procD + s.cfg.CoreLatency)
-	p.bd.Add("gNB→UPF (GTP-U)", core.Processing, at.Add(radioD+procD), s.cfg.CoreLatency)
+	s.seg(p.bd, p.id, obs.DirUL, obs.LayerCore, "gNB→UPF (GTP-U)", core.Processing, at.Add(radioD+procD), s.cfg.CoreLatency)
 	s.Eng.Schedule(done, "ul.deliver", func() {
 		payloads, err := s.gnbMACRx.ParseTB(tb)
 		if err != nil {
@@ -206,7 +216,11 @@ func (s *System) gnbReceiveUL(at sim.Time, tb []byte, p *ulPacket) {
 		ok := false
 		for _, pl := range payloads {
 			sdu, err := s.gnbRLCRx.Receive(pl)
-			if err != nil || sdu == nil {
+			if err != nil {
+				s.obs.Count(cRLCRxDrops, 1)
+				continue
+			}
+			if sdu == nil {
 				continue
 			}
 			plain, err := s.gnbPDCPRx.Unprotect(sdu)
@@ -239,9 +253,16 @@ func (s *System) finishUL(p *ulPacket, at sim.Time, ok bool) {
 		return
 	}
 	s.done[p.id] = true
+	lat := at.Sub(p.offered)
+	if ok {
+		s.obs.Count(cDelivered, 1)
+		s.obs.Observe(tLatUL, lat)
+	} else {
+		s.obs.Count(cLost, 1)
+	}
 	s.results = append(s.results, Result{
 		ID: p.id, Uplink: true, Delivered: ok,
-		Latency: at.Sub(p.offered), Breakdown: *p.bd, Attempts: p.attempts + 1,
+		Latency: lat, Breakdown: *p.bd, Attempts: p.attempts + 1,
 	})
 	s.onULDelivered(p.id, at, ok)
 }

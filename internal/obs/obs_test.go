@@ -1,0 +1,174 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+
+	"urllcsim/internal/core"
+	"urllcsim/internal/sim"
+)
+
+// TestNilRecorderIsSafe exercises every recording method on a nil receiver:
+// the disabled path must be a no-op, never a panic.
+func TestNilRecorderIsSafe(t *testing.T) {
+	var r *Recorder
+	if r.Enabled() {
+		t.Fatal("nil recorder reports enabled")
+	}
+	r.Span(Span{})
+	r.PacketSpan(1, DirUL, LayerPHY, "x", core.Radio, 0, 0)
+	r.Mark(0, LayerEngine, "e", -1)
+	r.EngineEvent(0, "e")
+	r.Count("c", 1)
+	r.SetGauge("g", 1)
+	r.Observe("t", sim.Microsecond)
+	r.SlotSnapshot(0)
+	r.CaptureEngineEvents(true)
+	if r.Spans() != nil || r.Events() != nil || r.Metrics() != nil || r.PacketSpans(0) != nil {
+		t.Fatal("nil recorder returned non-nil data")
+	}
+}
+
+func TestRecorderSpansAndEvents(t *testing.T) {
+	r := NewRecorder()
+	r.PacketSpan(7, DirUL, LayerSched, "wait", core.Protocol, sim.Time(1000), 2*sim.Microsecond)
+	r.PacketSpan(8, DirDL, LayerAir, "on air", core.Radio, sim.Time(3000), sim.Microsecond)
+	r.PacketSpan(7, DirUL, LayerPHY, "decode", core.Processing, sim.Time(3000), sim.Microsecond)
+	r.Mark(sim.Time(500), LayerSched, "tick", -1)
+
+	if n := len(r.Spans()); n != 3 {
+		t.Fatalf("recorded %d spans, want 3", n)
+	}
+	ps := r.PacketSpans(7)
+	if len(ps) != 2 || ps[0].Step != "wait" || ps[1].Step != "decode" {
+		t.Fatalf("PacketSpans(7) = %+v", ps)
+	}
+	if got := ps[0].End(); got != sim.Time(3000) {
+		t.Fatalf("span end %v, want 3000", got)
+	}
+	if len(r.Events()) != 1 || r.Events()[0].Name != "tick" {
+		t.Fatalf("events = %+v", r.Events())
+	}
+}
+
+// TestEngineSinkAndLegacyTracer proves the engine's structured sink and the
+// legacy Tracer hook observe the same event stream, and that a legacy func
+// can be mounted on the structured path through the TracerFunc adapter.
+func TestEngineSinkAndLegacyTracer(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder()
+	r.CaptureEngineEvents(true)
+
+	var legacy []string
+	var adapted []string
+	eng.Tracer = func(_ sim.Time, name string) { legacy = append(legacy, name) }
+	eng.Sink = MultiSink{
+		r,
+		TracerFunc(func(_ sim.Time, name string) { adapted = append(adapted, name) }),
+	}
+
+	eng.After(sim.Microsecond, "a", func() {})
+	eng.After(2*sim.Microsecond, "b", func() {})
+	eng.RunAll()
+
+	want := []string{"a", "b"}
+	for _, got := range [][]string{legacy, adapted} {
+		if len(got) != 2 || got[0] != want[0] || got[1] != want[1] {
+			t.Fatalf("hook saw %v, want %v", got, want)
+		}
+	}
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Name != "a" || evs[0].Layer != LayerEngine || evs[0].Packet != -1 {
+		t.Fatalf("recorder events = %+v", evs)
+	}
+	if evs[1].Time != sim.Time(2000) {
+		t.Fatalf("event time %v, want 2000", evs[1].Time)
+	}
+}
+
+// TestEngineEventsDroppedByDefault: a recorder attached as an engine sink
+// must not retain the (huge) engine event stream unless asked.
+func TestEngineEventsDroppedByDefault(t *testing.T) {
+	eng := sim.NewEngine()
+	r := NewRecorder()
+	eng.Sink = r
+	eng.After(sim.Microsecond, "a", func() {})
+	eng.RunAll()
+	if len(r.Events()) != 0 {
+		t.Fatalf("engine events retained without CaptureEngineEvents: %+v", r.Events())
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x")
+	c1.Inc()
+	c1.Add(2)
+	if c2 := reg.Counter("x"); c2 != c1 || c2.Value() != 3 {
+		t.Fatalf("counter not shared: %v %v", c1, c2)
+	}
+	g := reg.Gauge("depth")
+	g.Set(4)
+	if reg.Gauge("depth").Value() != 4 {
+		t.Fatal("gauge not shared")
+	}
+	tm := reg.Timing("lat")
+	tm.Observe(100 * sim.Microsecond)
+	tm.Observe(300 * sim.Microsecond)
+	if reg.Timing("lat").Acc.N() != 2 {
+		t.Fatal("timing not shared")
+	}
+	if mean := reg.Timing("lat").Acc.Mean(); mean != 200 {
+		t.Fatalf("timing mean %v µs, want 200", mean)
+	}
+	if len(reg.Counters()) != 1 || len(reg.Gauges()) != 1 || len(reg.Timings()) != 1 {
+		t.Fatal("registration order lists wrong length")
+	}
+}
+
+// TestSnapshotsAreRaggedSafe: metrics registered after a snapshot must not
+// corrupt earlier snapshots, and later snapshots carry the new columns.
+func TestSnapshotsAreRaggedSafe(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("a").Inc()
+	reg.Snapshot(sim.Time(1000))
+	reg.Counter("b").Add(5)
+	reg.Gauge("g").Set(2.5)
+	reg.Snapshot(sim.Time(2000))
+
+	snaps := reg.Snapshots()
+	if len(snaps) != 2 {
+		t.Fatalf("%d snapshots, want 2", len(snaps))
+	}
+	if len(snaps[0].Counters) != 1 || snaps[0].Counters[0] != 1 {
+		t.Fatalf("first snapshot %+v", snaps[0])
+	}
+	if len(snaps[1].Counters) != 2 || snaps[1].Counters[1] != 5 || snaps[1].Gauges[0] != 2.5 {
+		t.Fatalf("second snapshot %+v", snaps[1])
+	}
+}
+
+func TestRegistrySummary(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("harq.retx").Add(3)
+	reg.Gauge("rlc.depth").Set(7)
+	reg.Timing("lat.ul").Observe(500 * sim.Microsecond)
+	s := reg.Summary()
+	for _, want := range []string{"harq.retx", "3", "rlc.depth", "7.00", "lat.ul", "500.00"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestLayerAndDirStrings(t *testing.T) {
+	if LayerSDAP.String() != "SDAP" || LayerBus.String() != "bus" || LayerAir.String() != "air" {
+		t.Fatal("layer names wrong")
+	}
+	if Layer(200).String() != "layer?" {
+		t.Fatal("out-of-range layer not handled")
+	}
+	if DirUL.String() != "UL" || DirDL.String() != "DL" || DirNone.String() != "-" {
+		t.Fatal("dir names wrong")
+	}
+}

@@ -54,6 +54,14 @@ func (q *eventQueue) Pop() any {
 	return e
 }
 
+// EngineSink receives a structured notification for every fired event. It
+// is the engine half of the observability layer (internal/obs): an attached
+// obs.Recorder implements it, and obs.TracerFunc adapts any legacy
+// func(Time, string) hook onto the same path.
+type EngineSink interface {
+	EngineEvent(t Time, name string)
+}
+
 // Engine is the discrete-event simulation core. It is not safe for concurrent
 // use: a simulation is a single logical thread of control, and all model code
 // runs inside event callbacks.
@@ -64,9 +72,24 @@ type Engine struct {
 	steps   uint64
 	stopped bool
 
-	// Tracer, when non-nil, is invoked for every fired event. It is used by
-	// the journey tracer (cmd/urllc-trace) and by engine tests.
+	// Tracer, when non-nil, is invoked for every fired event. It is the
+	// legacy hook, kept for compatibility; it rides the same dispatch as
+	// Sink and is equivalent to mounting an obs.TracerFunc there.
 	Tracer func(t Time, name string)
+
+	// Sink, when non-nil, receives every fired event as a structured
+	// notification (typically an *obs.Recorder).
+	Sink EngineSink
+}
+
+// emit dispatches one fired event to the legacy tracer and structured sink.
+func (e *Engine) emit(name string) {
+	if e.Tracer != nil {
+		e.Tracer(e.now, name)
+	}
+	if e.Sink != nil {
+		e.Sink.EngineEvent(e.now, name)
+	}
 }
 
 // NewEngine returns an engine with the clock at zero.
@@ -126,8 +149,8 @@ func (e *Engine) Run(horizon Time) Time {
 		}
 		e.now = next.When
 		e.steps++
-		if e.Tracer != nil {
-			e.Tracer(e.now, next.Name)
+		if e.Tracer != nil || e.Sink != nil {
+			e.emit(next.Name)
 		}
 		next.Fn()
 	}
@@ -147,8 +170,8 @@ func (e *Engine) Step() bool {
 		}
 		e.now = next.When
 		e.steps++
-		if e.Tracer != nil {
-			e.Tracer(e.now, next.Name)
+		if e.Tracer != nil || e.Sink != nil {
+			e.emit(next.Name)
 		}
 		next.Fn()
 		return true

@@ -1,0 +1,134 @@
+package urllcsim
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"urllcsim/internal/obs"
+	"urllcsim/internal/sim"
+)
+
+// TestSpanPartition is the structural invariant behind the Fig. 3 journey:
+// for every first-attempt delivery, the per-packet spans recorded by the
+// observability layer must tile the interval from offer to delivery exactly —
+// no gaps, no overlaps — so their durations sum to the reported one-way
+// latency. Checked for grant-based UL, grant-free UL and DL across seeds.
+func TestSpanPartition(t *testing.T) {
+	cases := []struct {
+		name      string
+		grantFree bool
+		uplink    bool
+	}{
+		{"ul-grant-based", false, true},
+		{"ul-grant-free", true, true},
+		{"dl", false, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			for seed := uint64(1); seed <= 5; seed++ {
+				rec := obs.NewRecorder()
+				sc, err := NewScenario(ScenarioConfig{
+					Pattern:   PatternDDDU,
+					SlotScale: Slot0p5ms,
+					GrantFree: tc.grantFree,
+					Radio:     RadioUSB2,
+					Seed:      seed,
+					Obs:       rec,
+				})
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i := 0; i < 20; i++ {
+					at := time.Duration(i)*2*time.Millisecond + 337*time.Microsecond
+					if tc.uplink {
+						sc.SendUplink(at, 32)
+					} else {
+						sc.SendDownlink(at, 32)
+					}
+				}
+				results := sc.Run(100 * time.Millisecond)
+				if len(results) == 0 {
+					t.Fatalf("seed %d: no packets resolved", seed)
+				}
+				checked := 0
+				for _, r := range results {
+					// Retransmitted packets revisit MAC/PHY, so their spans
+					// legitimately overlap the HARQ round-trip; the exact
+					// partition holds for clean first-attempt deliveries.
+					if !r.Delivered || r.Attempts != 1 {
+						continue
+					}
+					verifyPartition(t, seed, r, rec.PacketSpans(r.ID))
+					checked++
+				}
+				if checked == 0 {
+					t.Fatalf("seed %d: no first-attempt deliveries to check", seed)
+				}
+			}
+		})
+	}
+}
+
+func verifyPartition(t *testing.T, seed uint64, r PacketResult, spans []obs.Span) {
+	t.Helper()
+	if len(spans) == 0 {
+		t.Fatalf("seed %d pkt %d: no spans recorded", seed, r.ID)
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	var sum sim.Duration
+	for i, s := range spans {
+		sum += s.Dur
+		if i == 0 {
+			continue
+		}
+		if prev := spans[i-1]; s.Start != prev.End() {
+			t.Fatalf("seed %d pkt %d: gap/overlap between %q (ends %v) and %q (starts %v)",
+				seed, r.ID, prev.Step, prev.End(), s.Step, s.Start)
+		}
+	}
+	if got, want := time.Duration(sum), r.Latency; got != want {
+		t.Fatalf("seed %d pkt %d: span durations sum to %v, latency is %v (Δ %v)",
+			seed, r.ID, got, want, got-want)
+	}
+	if tiled := spans[len(spans)-1].End().Sub(spans[0].Start); time.Duration(tiled) != r.Latency {
+		t.Fatalf("seed %d pkt %d: spans tile %v, latency is %v",
+			seed, r.ID, time.Duration(tiled), r.Latency)
+	}
+}
+
+// BenchmarkTracingOverhead compares a full-stack scenario run with
+// observability disabled (nil recorder — the default) against the same run
+// with a live recorder capturing spans, counters and slot snapshots. The
+// Disabled case must stay within noise of the pre-observability simulator:
+// the entire hot path is nil-receiver method calls.
+func BenchmarkTracingOverhead(b *testing.B) {
+	run := func(b *testing.B, rec *obs.Recorder) {
+		sc, err := NewScenario(ScenarioConfig{
+			Pattern: PatternDDDU, SlotScale: Slot0p5ms, Radio: RadioUSB2,
+			Seed: 1, Obs: rec,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		const packets = 32
+		for i := 0; i < packets; i++ {
+			at := time.Duration(i) * 2 * time.Millisecond
+			sc.SendUplink(at+137*time.Microsecond, 32)
+			sc.SendDownlink(at+731*time.Microsecond, 32)
+		}
+		if rs := sc.Run((packets + 50) * 2 * time.Millisecond); len(rs) != 2*packets {
+			b.Fatalf("resolved %d/%d", len(rs), 2*packets)
+		}
+	}
+	b.Run("Disabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, nil)
+		}
+	})
+	b.Run("Enabled", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			run(b, obs.NewRecorder())
+		}
+	})
+}

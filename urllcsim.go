@@ -39,6 +39,7 @@ import (
 	"urllcsim/internal/core"
 	"urllcsim/internal/node"
 	"urllcsim/internal/nr"
+	"urllcsim/internal/obs"
 	"urllcsim/internal/proc"
 	"urllcsim/internal/radio"
 	"urllcsim/internal/sim"
@@ -124,6 +125,13 @@ type ScenarioConfig struct {
 
 	// Seed makes runs reproducible; runs with equal seeds are identical.
 	Seed uint64
+
+	// Obs, when non-nil, collects structured per-packet spans, named
+	// counters/gauges and slot-aligned metric snapshots during the run;
+	// export them with the internal/obs writers (JSONL, Chrome
+	// trace-event JSON for Perfetto, CSV). Nil disables observability at
+	// near-zero cost and changes nothing about the simulation.
+	Obs *obs.Recorder
 }
 
 // PacketResult is the fate of one offered packet.
@@ -207,6 +215,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		NUEs:         cfg.UEs,
 		PayloadBytes: 32,
 		Seed:         cfg.Seed,
+		Obs:          cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
