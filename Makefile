@@ -1,12 +1,17 @@
 GO ?= go
 
-.PHONY: check vet build test race bench
+.PHONY: check vet build test race bench lint report-smoke
 
-## check: full verification gate — vet, build, race-enabled tests
-check: vet build race
+## check: full verification gate — lint (vet + gofmt), build, race-enabled tests
+check: lint build race
 
 vet:
 	$(GO) vet ./...
+
+## lint: vet plus a gofmt gate — fails listing any file that needs formatting
+lint: vet
+	@fmtout=$$(gofmt -l .); if [ -n "$$fmtout" ]; then \
+		echo "gofmt needed on:"; echo "$$fmtout"; exit 1; fi
 
 build:
 	$(GO) build ./...
@@ -20,3 +25,13 @@ race:
 ## bench: regenerate every table/figure benchmark plus the tracing-overhead gate
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+## report-smoke: end-to-end JSONL → urllc-report round trip in a temp dir
+report-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) run ./cmd/urllcsim -packets 40 -jsonl-out $$tmp/run.jsonl >/dev/null && \
+	$(GO) run ./cmd/urllc-report -csv $$tmp/feas.csv -breakdown-csv $$tmp/steps.csv $$tmp/run.jsonl >$$tmp/report.md && \
+	grep -q 'Feasibility (Fig. 4-style)' $$tmp/report.md && \
+	grep -q '^run,UL,' $$tmp/feas.csv && \
+	grep -q ',source,,,radio,' $$tmp/steps.csv && \
+	echo "report-smoke OK ($$tmp)" && rm -rf $$tmp

@@ -1,0 +1,83 @@
+// Command urllc-report audits exported JSONL traces against the URLLC
+// one-way latency budget and renders the paper's tables: a Fig. 4-style
+// feasibility table (tail percentiles down to p99.999, worst case,
+// reliability), the per-source budget split and the Fig. 3 temporal
+// breakdown.
+//
+//	urllcsim -jsonl-out run.jsonl
+//	urllc-report run.jsonl                      # Markdown to stdout
+//	urllc-report -deadline 1ms a.jsonl b.jsonl  # audit several traces
+//	urllc-report -csv feas.csv -breakdown-csv steps.csv run.jsonl
+//
+// The JSONL round trip is lossless to the nanosecond, so offline audits
+// match in-process ones exactly.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"urllcsim/internal/obs"
+	"urllcsim/internal/obs/analyze"
+	"urllcsim/internal/sim"
+)
+
+func main() {
+	deadline := flag.Duration("deadline", 500*time.Microsecond, "one-way latency budget packets are audited against")
+	mdOut := flag.String("md", "", "write the Markdown report to this file instead of stdout")
+	feasOut := flag.String("csv", "", "write the Fig. 4-style feasibility table as CSV to this file")
+	breakdownOut := flag.String("breakdown-csv", "", "write the Fig. 3 temporal breakdown as CSV to this file")
+	flag.Parse()
+
+	if flag.NArg() == 0 {
+		fmt.Fprintln(os.Stderr, "usage: urllc-report [flags] trace.jsonl [trace.jsonl ...]")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+
+	var audits []*analyze.Audit
+	for _, path := range flag.Args() {
+		f, err := os.Open(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		tr, err := analyze.ReadJSONL(f)
+		f.Close()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+		audits = append(audits, analyze.Run(tr, label, sim.Duration(*deadline)))
+	}
+
+	if *mdOut != "" {
+		if err := obs.WriteFile(*mdOut, func(w io.Writer) error { return analyze.WriteMarkdown(w, audits) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	} else {
+		if err := analyze.WriteMarkdown(os.Stdout, audits); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *feasOut != "" {
+		if err := obs.WriteFile(*feasOut, func(w io.Writer) error { return analyze.WriteFeasibilityCSV(w, audits) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *breakdownOut != "" {
+		if err := obs.WriteFile(*breakdownOut, func(w io.Writer) error { return analyze.WriteBreakdownCSV(w, audits) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -8,6 +8,7 @@
 //	urllc-trace -json                 # machine-readable result + spans on stdout
 //	urllc-trace -trace-out trace.json # Chrome trace-event JSON (open in Perfetto)
 //	urllc-trace -jsonl-out events.jsonl -metrics-out metrics.csv
+//	urllc-trace -audit                # deadline-budget audit of the journey
 package main
 
 import (
@@ -20,6 +21,8 @@ import (
 
 	"urllcsim"
 	"urllcsim/internal/obs"
+	"urllcsim/internal/obs/analyze"
+	"urllcsim/internal/sim"
 )
 
 func main() {
@@ -31,12 +34,14 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
 	jsonlOut := flag.String("jsonl-out", "", "write the structured event log (one JSON object per line) to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry summary as CSV to this file")
+	audit := flag.Bool("audit", false, "append the deadline-budget audit (Fig. 3/4 tables) to the text output")
+	deadline := flag.Duration("deadline", 500*time.Microsecond, "one-way budget for -audit")
 	flag.Parse()
 
 	// Observability is opt-in: the recorder exists only when some output
 	// needs it, so the default text path runs the exact legacy pipeline.
 	var rec *obs.Recorder
-	if *jsonOut || *traceOut != "" || *jsonlOut != "" || *metricsOut != "" {
+	if *jsonOut || *traceOut != "" || *jsonlOut != "" || *metricsOut != "" || *audit {
 		rec = obs.NewRecorder()
 	}
 
@@ -46,6 +51,7 @@ func main() {
 		GrantFree: *grantFree,
 		Radio:     urllcsim.RadioUSB2,
 		Seed:      *seed,
+		Deadline:  *deadline,
 		Obs:       rec,
 	})
 	if err != nil {
@@ -109,6 +115,15 @@ func main() {
 	fmt.Print(r.Journey)
 	fmt.Printf("\nshares: protocol %.0f%%, processing %.0f%%, radio %.0f%%\n",
 		100*r.ProtocolShare, 100*r.ProcessingShare, 100*r.RadioShare)
+
+	if *audit {
+		a := analyze.Run(analyze.FromRecorder(rec), "trace", sim.Duration(*deadline))
+		fmt.Println()
+		if err := analyze.WriteMarkdown(os.Stdout, []*analyze.Audit{a}); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 }
 
 // jsonResult is the -json stdout shape: the packet outcome plus its

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"sort"
 	"time"
 
@@ -33,6 +34,8 @@ func main() {
 	traceOut := flag.String("trace-out", "", "write Chrome trace-event JSON (Perfetto / chrome://tracing) to this file")
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry summary as CSV to this file")
 	snapshotsOut := flag.String("snapshots-out", "", "write per-slot counter/gauge snapshots as CSV to this file")
+	jsonlOut := flag.String("jsonl-out", "", "write the span/outcome/event trace as JSONL to this file (input for urllc-report)")
+	serve := flag.String("serve", "", "serve live telemetry on this address (e.g. :9090): /metrics Prometheus text, /debug/vars expvar, /debug/pprof; keeps serving after the run until interrupted")
 	flag.Parse()
 
 	scales := map[string]urllcsim.SlotScale{
@@ -57,8 +60,21 @@ func main() {
 	// Observability is opt-in: the recorder exists only when some output
 	// needs it, so the default run costs nothing extra.
 	var rec *obs.Recorder
-	if *traceOut != "" || *metricsOut != "" || *snapshotsOut != "" {
+	if *traceOut != "" || *metricsOut != "" || *snapshotsOut != "" || *jsonlOut != "" || *serve != "" {
 		rec = obs.NewRecorder()
+	}
+
+	// The telemetry server must attach before the run so the registry lock
+	// is installed ahead of any concurrent scrape.
+	var live *obs.LiveServer
+	if *serve != "" {
+		var err error
+		live, err = obs.Serve(*serve, rec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "live telemetry on http://%s (/metrics, /debug/vars, /debug/pprof)\n", live.Addr)
 	}
 
 	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
@@ -70,6 +86,7 @@ func main() {
 		SNRdB:     *snr,
 		UEs:       *ues,
 		Seed:      *seed,
+		Deadline:  *deadline,
 		Obs:       rec,
 	})
 	if err != nil {
@@ -96,6 +113,7 @@ func main() {
 		{*traceOut, func(w io.Writer) error { return obs.WriteChromeTrace(w, rec) }},
 		{*metricsOut, func(w io.Writer) error { return obs.WriteMetricsCSV(w, rec.Metrics()) }},
 		{*snapshotsOut, func(w io.Writer) error { return obs.WriteSnapshotsCSV(w, rec.Metrics()) }},
+		{*jsonlOut, func(w io.Writer) error { return obs.WriteJSONL(w, rec) }},
 	}
 	for _, ex := range exports {
 		if ex.path == "" {
@@ -151,5 +169,15 @@ func main() {
 		if mean, std, n, err := sc.LayerStat(l); err == nil && n > 0 {
 			fmt.Printf("  %-6s mean %8.2fµs std %8.2fµs (n=%d)\n", l, mean, std, n)
 		}
+	}
+
+	// With -serve, stay up after the run so the final counters and
+	// histograms can still be scraped and profiled; ^C exits.
+	if live != nil {
+		fmt.Fprintf(os.Stderr, "run finished; still serving on http://%s — interrupt to exit\n", live.Addr)
+		ch := make(chan os.Signal, 1)
+		signal.Notify(ch, os.Interrupt)
+		<-ch
+		live.Close()
 	}
 }

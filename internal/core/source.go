@@ -48,6 +48,25 @@ func (s Source) String() string {
 	}
 }
 
+// ParseSource is the inverse of Source.String, used when re-ingesting
+// exported traces. Unknown names report ok=false.
+func ParseSource(s string) (Source, bool) {
+	switch s {
+	case "protocol":
+		return Protocol, true
+	case "processing":
+		return Processing, true
+	case "radio":
+		return Radio, true
+	default:
+		return 0, false
+	}
+}
+
+// NumSources is the number of latency-source categories, for sizing
+// per-source arrays outside the package.
+const NumSources = int(numSources)
+
 // Sources lists the categories in presentation order.
 var Sources = []Source{Protocol, Processing, Radio}
 

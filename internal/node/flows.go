@@ -23,6 +23,8 @@ const (
 	cRLCRxDrops   = "rlc.rx_drops"     // PDUs dropped in a receive chain
 	cDelivered    = "pkt.delivered"
 	cLost         = "pkt.lost"
+	cDeadlineMet  = "pkt.deadline_met"  // delivered within Config.Deadline
+	cDeadlineMiss = "pkt.deadline_miss" // delivered late or lost
 
 	gRLCQueueDepth = "rlc.dl.queue_depth"
 	gSRPending     = "sched.sr_pending"
@@ -32,6 +34,29 @@ const (
 	tLatDL        = "lat.dl"
 	tRLCQueueWait = "gnb.rlc_queue_wait"
 )
+
+// missCounter attributes a deadline miss to the journey's dominant latency
+// source, one counter per Fig. 3 category.
+var missCounter = [core.NumSources]string{
+	core.Protocol:   "budget.miss.protocol",
+	core.Processing: "budget.miss.processing",
+	core.Radio:      "budget.miss.radio",
+}
+
+// audit emits the packet's obs.Outcome and, when a deadline is configured,
+// its verdict against the one-way budget.
+func (s *System) audit(id int, dir obs.Dir, ok bool, lat sim.Duration, attempts int, bd *core.Breakdown) {
+	s.obs.Outcome(obs.Outcome{Packet: id, Dir: dir, Delivered: ok, Latency: lat, Attempts: attempts})
+	if s.cfg.Deadline <= 0 {
+		return
+	}
+	if ok && lat <= s.cfg.Deadline {
+		s.obs.Count(cDeadlineMet, 1)
+		return
+	}
+	s.obs.Count(cDeadlineMiss, 1)
+	s.obs.Count(missCounter[bd.Dominant()], 1)
+}
 
 // gnbTimingName / ueTimingName map a processing layer to its obs timing
 // name, precomputed so the hot path never concatenates strings.
@@ -410,4 +435,5 @@ func (s *System) finishDL(p *dlPacket, at sim.Time, ok bool) {
 		ID: p.id, Uplink: false, Delivered: ok,
 		Latency: lat, Breakdown: *p.bd, Attempts: p.attempts + 1,
 	})
+	s.audit(p.id, obs.DirDL, ok, lat, p.attempts+1, p.bd)
 }

@@ -75,6 +75,14 @@ type Config struct {
 	// CoreLatency is the gNB↔UPF forwarding cost per direction.
 	CoreLatency sim.Duration
 
+	// Deadline, when positive, audits every finished packet against this
+	// one-way latency budget (the paper's 0.5 ms URLLC bound): packets
+	// delivered in time count into pkt.deadline_met, late or lost ones into
+	// pkt.deadline_miss plus a budget.miss.<source> counter naming the
+	// journey's dominant latency source (Fig. 3 taxonomy). Zero disables
+	// the verdict counters; obs.Outcome records are emitted regardless.
+	Deadline sim.Duration
+
 	// NUEs scales processing load (§7: more UEs, more processing).
 	NUEs int
 

@@ -264,5 +264,6 @@ func (s *System) finishUL(p *ulPacket, at sim.Time, ok bool) {
 		ID: p.id, Uplink: true, Delivered: ok,
 		Latency: lat, Breakdown: *p.bd, Attempts: p.attempts + 1,
 	})
+	s.audit(p.id, obs.DirUL, ok, lat, p.attempts+1, p.bd)
 	s.onULDelivered(p.id, at, ok)
 }

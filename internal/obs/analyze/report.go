@@ -1,0 +1,163 @@
+package analyze
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strings"
+
+	"urllcsim/internal/core"
+	"urllcsim/internal/sim"
+)
+
+// Report rendering: Markdown for humans (the Fig. 3 / Fig. 4 shapes as
+// tables) and CSV for plotting pipelines. All durations are in the paper's
+// µs unit; CSV durations use three decimals, which is exact at nanosecond
+// resolution.
+
+func us(d sim.Duration) float64 { return float64(d) / 1000 }
+
+// quantiles reported in the feasibility tables: the URLLC reliability
+// requirement (99.999 %) sits at the last interior entry.
+var reportQuantiles = []struct {
+	Label string
+	Q     float64
+}{
+	{"p50", 0.5}, {"p99", 0.99}, {"p99.9", 0.999},
+	{"p99.99", 0.9999}, {"p99.999", 0.99999},
+}
+
+// WriteMarkdown renders the audits as a Markdown report: per trace, a
+// Fig. 4-style feasibility table, the per-source budget table and the
+// Fig. 3 temporal breakdown.
+func WriteMarkdown(w io.Writer, audits []*Audit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "# URLLC latency-budget report\n")
+	for _, a := range audits {
+		fmt.Fprintf(bw, "\n## %s\n\n", a.Label)
+		fmt.Fprintf(bw, "One-way deadline: %.2f µs. Packets: %d.\n", us(a.Deadline), len(a.Journeys))
+
+		fmt.Fprintf(bw, "\n### Feasibility (Fig. 4-style)\n\n")
+		fmt.Fprint(bw, "| dir | n | delivered | lost | retx |")
+		for _, q := range reportQuantiles {
+			fmt.Fprintf(bw, " %s [µs] |", q.Label)
+		}
+		fmt.Fprint(bw, " worst [µs] | ≤ deadline | reliability | nines | URLLC |\n")
+		fmt.Fprint(bw, "|---|---|---|---|---|")
+		for range reportQuantiles {
+			fmt.Fprint(bw, "---|")
+		}
+		fmt.Fprint(bw, "---|---|---|---|---|\n")
+		for _, d := range a.Dirs {
+			fmt.Fprintf(bw, "| %s | %d | %d | %d | %d |", d.Dir, d.N, d.Delivered, d.Lost, d.Retransmitted)
+			for _, q := range reportQuantiles {
+				fmt.Fprintf(bw, " %.2f |", float64(d.Hist.Quantile(q.Q))/1000)
+			}
+			verdict := "✗"
+			if d.Rel.MeetsURLLC() {
+				verdict = "✓"
+			}
+			fmt.Fprintf(bw, " %.2f | %d/%d | %.5f | %.1f | %s |\n",
+				float64(d.Hist.Max())/1000, d.DeadlineMet, d.N, d.Rel.Value(), d.Rel.Nines(), verdict)
+		}
+
+		fmt.Fprintf(bw, "\n### Budget by latency source (Fig. 3 taxonomy)\n\n")
+		fmt.Fprint(bw, "| dir | source | total [µs] | mean/packet [µs] | share | misses dominated |\n")
+		fmt.Fprint(bw, "|---|---|---|---|---|---|\n")
+		for _, d := range a.Dirs {
+			tot := d.BudgetTotal()
+			for _, src := range core.Sources {
+				share := 0.0
+				if tot > 0 {
+					share = float64(d.BySource[src]) / float64(tot)
+				}
+				fmt.Fprintf(bw, "| %s | %s | %.2f | %.2f | %.1f%% | %d |\n",
+					d.Dir, src, us(d.BySource[src]), d.SourceAcc[src].Mean(),
+					100*share, d.MissDominant[src])
+			}
+		}
+
+		fmt.Fprintf(bw, "\n### Temporal breakdown (Fig. 3)\n\n")
+		fmt.Fprint(bw, "| dir | step | layer | source | n | mean start [µs] | mean dur [µs] | share |\n")
+		fmt.Fprint(bw, "|---|---|---|---|---|---|---|---|\n")
+		for _, d := range a.Dirs {
+			tot := d.BudgetTotal()
+			for _, st := range d.Steps {
+				share := 0.0
+				if tot > 0 {
+					share = float64(st.Total) / float64(tot)
+				}
+				fmt.Fprintf(bw, "| %s | %s | %s | %s | %d | %.2f | %.2f | %.1f%% |\n",
+					d.Dir, mdEscape(st.Step), st.Layer, st.Source, st.N,
+					st.StartOffset.Mean(), st.Dur.Mean(), 100*share)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteFeasibilityCSV writes the Fig. 4-style per-configuration feasibility
+// table: one row per trace × direction.
+func WriteFeasibilityCSV(w io.Writer, audits []*Audit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "label,dir,n,delivered,lost,retransmitted,deadline_us,deadline_met,deadline_missed")
+	for _, q := range reportQuantiles {
+		fmt.Fprintf(bw, ",%s_us", strings.ReplaceAll(q.Label, ".", "_"))
+	}
+	fmt.Fprint(bw, ",worst_us,reliability,nines,meets_urllc\n")
+	for _, a := range audits {
+		for _, d := range a.Dirs {
+			fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%d,%.3f,%d,%d",
+				csvField(a.Label), d.Dir, d.N, d.Delivered, d.Lost, d.Retransmitted,
+				us(a.Deadline), d.DeadlineMet, d.Missed)
+			for _, q := range reportQuantiles {
+				fmt.Fprintf(bw, ",%.3f", float64(d.Hist.Quantile(q.Q))/1000)
+			}
+			fmt.Fprintf(bw, ",%.3f,%.6f,%.2f,%v\n",
+				float64(d.Hist.Max())/1000, d.Rel.Value(), d.Rel.Nines(), d.Rel.MeetsURLLC())
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteBreakdownCSV writes the Fig. 3 temporal breakdown: one row per trace
+// × direction × journey step, plus per-source summary rows.
+func WriteBreakdownCSV(w io.Writer, audits []*Audit) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprint(bw, "label,dir,kind,step,layer,source,n,mean_start_us,mean_dur_us,total_us,share\n")
+	for _, a := range audits {
+		for _, d := range a.Dirs {
+			tot := d.BudgetTotal()
+			share := func(x sim.Duration) float64 {
+				if tot == 0 {
+					return 0
+				}
+				return float64(x) / float64(tot)
+			}
+			for _, st := range d.Steps {
+				fmt.Fprintf(bw, "%s,%s,step,%s,%s,%s,%d,%.3f,%.3f,%.3f,%.6f\n",
+					csvField(a.Label), d.Dir, csvField(st.Step), st.Layer, st.Source,
+					st.N, st.StartOffset.Mean(), st.Dur.Mean(), us(st.Total), share(st.Total))
+			}
+			for _, src := range core.Sources {
+				fmt.Fprintf(bw, "%s,%s,source,,,%s,%d,,%.3f,%.3f,%.6f\n",
+					csvField(a.Label), d.Dir, src, d.N, d.SourceAcc[src].Mean(),
+					us(d.BySource[src]), share(d.BySource[src]))
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// csvField quotes a field when it contains CSV-special characters.
+func csvField(s string) string {
+	if !strings.ContainsAny(s, ",\"\n") {
+		return s
+	}
+	return "\"" + strings.ReplaceAll(s, "\"", "\"\"") + "\""
+}
+
+// mdEscape keeps step names (which may contain |) from breaking table rows.
+func mdEscape(s string) string {
+	return strings.ReplaceAll(s, "|", "\\|")
+}

@@ -30,10 +30,21 @@ type jsonEvent struct {
 	Packet int     `json:"packet"`
 }
 
-// WriteJSONL writes every span and event as one JSON object per line:
-// spans first (recording order), then events. The format is grep- and
-// jq-friendly, the shape related simulators (SimURLLC's per-seed event
-// logs) treat as table stakes.
+// jsonOutcome is the JSONL wire form of an Outcome.
+type jsonOutcome struct {
+	Kind      string  `json:"kind"` // "outcome"
+	Packet    int     `json:"packet"`
+	Dir       string  `json:"dir"`
+	Delivered bool    `json:"delivered"`
+	LatencyUs float64 `json:"latency_us"`
+	Attempts  int     `json:"attempts"`
+}
+
+// WriteJSONL writes every span, outcome and event as one JSON object per
+// line: spans first (recording order), then outcomes, then events. The
+// format is grep- and jq-friendly, the shape related simulators (SimURLLC's
+// per-seed event logs) treat as table stakes, and internal/obs/analyze
+// re-ingests it losslessly (µs floats round-trip to exact nanoseconds).
 func WriteJSONL(w io.Writer, r *Recorder) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
@@ -44,6 +55,16 @@ func WriteJSONL(w io.Writer, r *Recorder) error {
 			StartUs: s.Start.Micros(), DurUs: float64(s.Dur) / 1000,
 		}
 		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	for _, o := range r.Outcomes() {
+		jo := jsonOutcome{
+			Kind: "outcome", Packet: o.Packet, Dir: o.Dir.String(),
+			Delivered: o.Delivered, LatencyUs: float64(o.Latency) / 1000,
+			Attempts: o.Attempts,
+		}
+		if err := enc.Encode(jo); err != nil {
 			return err
 		}
 	}

@@ -19,6 +19,8 @@
 package obs
 
 import (
+	"sync"
+
 	"urllcsim/internal/core"
 	"urllcsim/internal/sim"
 )
@@ -54,6 +56,17 @@ func (l Layer) String() string {
 	return "layer?"
 }
 
+// ParseLayer is the inverse of Layer.String, used when re-ingesting exported
+// traces. Unknown names report ok=false.
+func ParseLayer(s string) (Layer, bool) {
+	for i, n := range layerNames {
+		if n == s {
+			return Layer(i), true
+		}
+	}
+	return 0, false
+}
+
 // Dir is a packet direction.
 type Dir uint8
 
@@ -71,6 +84,20 @@ func (d Dir) String() string {
 		return "DL"
 	default:
 		return "-"
+	}
+}
+
+// ParseDir is the inverse of Dir.String. Unknown names report ok=false.
+func ParseDir(s string) (Dir, bool) {
+	switch s {
+	case "UL":
+		return DirUL, true
+	case "DL":
+		return DirDL, true
+	case "-":
+		return DirNone, true
+	default:
+		return DirNone, false
 	}
 }
 
@@ -100,16 +127,41 @@ type Event struct {
 	Packet int // -1 when not packet-scoped
 }
 
+// Outcome is the resolution of one offered packet: whether it was delivered,
+// its one-way latency and how many transmission attempts it took. Spans
+// describe the journey; the Outcome is the verdict — exported alongside the
+// spans so offline analyzers can audit deadlines without re-deriving
+// delivery state from the span stream (retransmitted packets have
+// overlapping spans, so span sums alone cannot reconstruct it).
+type Outcome struct {
+	Packet    int
+	Dir       Dir
+	Delivered bool
+	Latency   sim.Duration
+	Attempts  int
+}
+
 // Recorder collects spans, events and metrics for one simulation run. The
 // zero value is usable; a nil Recorder is the disabled state and all methods
 // are nil-safe no-ops.
 //
 // Recorder is not safe for concurrent use — like the engine it observes, a
-// simulation is a single logical thread of control.
+// simulation is a single logical thread of control. The one sanctioned
+// exception is a live telemetry server (see Serve): attaching one installs a
+// mutex around the registry-touching methods so scrapes can run concurrently
+// with the simulation; span/event/outcome logs stay unsynchronised and are
+// never read live.
 type Recorder struct {
-	spans  []Span
-	events []Event
-	reg    *Registry
+	spans    []Span
+	events   []Event
+	outcomes []Outcome
+	reg      *Registry
+
+	// live guards the metrics registry when a telemetry server is attached.
+	// Nil in the default single-threaded case: every registry-touching
+	// method then pays exactly one pointer comparison, keeping the
+	// BenchmarkTracingOverhead gate intact.
+	live *sync.Mutex
 
 	// captureEngine mirrors every fired engine event into the event log.
 	// Off by default: a full scenario run fires hundreds of thousands of
@@ -180,9 +232,39 @@ func (r *Recorder) EngineEvent(t sim.Time, name string) {
 	r.events = append(r.events, Event{Time: t, Name: name, Layer: LayerEngine, Packet: -1})
 }
 
+// enableLive installs the registry mutex. Must be called before the
+// simulation starts and before any concurrent reader — the pointer write is
+// unsynchronised by design (the fast path cannot afford an atomic).
+func (r *Recorder) enableLive() {
+	if r == nil || r.live != nil {
+		return
+	}
+	r.live = &sync.Mutex{}
+}
+
+// withLive runs f under the live mutex when one is installed. Exposition
+// handlers use it to read the registry consistently mid-run.
+func (r *Recorder) withLive(f func()) {
+	if r == nil {
+		f()
+		return
+	}
+	if r.live != nil {
+		r.live.Lock()
+		defer r.live.Unlock()
+	}
+	f()
+}
+
 // Count adds delta to the named counter. No-op when disabled.
 func (r *Recorder) Count(name string, delta int64) {
 	if r == nil {
+		return
+	}
+	if r.live != nil {
+		r.live.Lock()
+		r.reg.Counter(name).Add(delta)
+		r.live.Unlock()
 		return
 	}
 	r.reg.Counter(name).Add(delta)
@@ -193,13 +275,25 @@ func (r *Recorder) SetGauge(name string, v float64) {
 	if r == nil {
 		return
 	}
+	if r.live != nil {
+		r.live.Lock()
+		r.reg.Gauge(name).Set(v)
+		r.live.Unlock()
+		return
+	}
 	r.reg.Gauge(name).Set(v)
 }
 
 // Observe records a duration into the named timing (mean/std accumulator +
-// histogram). No-op when disabled.
+// histograms). No-op when disabled.
 func (r *Recorder) Observe(name string, d sim.Duration) {
 	if r == nil {
+		return
+	}
+	if r.live != nil {
+		r.live.Lock()
+		r.reg.Timing(name).Observe(d)
+		r.live.Unlock()
 		return
 	}
 	r.reg.Timing(name).Observe(d)
@@ -212,7 +306,29 @@ func (r *Recorder) SlotSnapshot(t sim.Time) {
 	if r == nil {
 		return
 	}
+	if r.live != nil {
+		r.live.Lock()
+		r.reg.Snapshot(t)
+		r.live.Unlock()
+		return
+	}
 	r.reg.Snapshot(t)
+}
+
+// Outcome records the resolution of one packet.
+func (r *Recorder) Outcome(o Outcome) {
+	if r == nil {
+		return
+	}
+	r.outcomes = append(r.outcomes, o)
+}
+
+// Outcomes returns the recorded packet outcomes in resolution order.
+func (r *Recorder) Outcomes() []Outcome {
+	if r == nil {
+		return nil
+	}
+	return r.outcomes
 }
 
 // Spans returns the recorded spans in recording order (chronological per

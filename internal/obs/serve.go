@@ -1,0 +1,134 @@
+package obs
+
+import (
+	"bytes"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"strings"
+)
+
+// Live telemetry: long multi-UE runs cannot wait for post-processing, so the
+// recorder's metrics registry is exposed over HTTP while the simulation is
+// in flight —
+//
+//	/metrics      Prometheus text exposition (counters, gauges, latency
+//	              histograms with HDR buckets)
+//	/debug/vars   expvar (Go runtime memstats, cmdline)
+//	/debug/pprof  net/http/pprof (CPU/heap profiling of the running sim)
+//
+// Attaching a server installs a mutex on the recorder's registry methods
+// (see Recorder.enableLive); with no server attached, the hot path stays the
+// single nil-comparison proven by BenchmarkLiveEndpointOverhead.
+
+// LiveHandler returns the telemetry mux for rec. The recorder is switched
+// into locked mode — call before the simulation starts.
+func LiveHandler(rec *Recorder) http.Handler {
+	rec.enableLive()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Path != "/" {
+			http.NotFound(w, r)
+			return
+		}
+		fmt.Fprint(w, "urllcsim live telemetry\n\n/metrics\n/debug/vars\n/debug/pprof/\n")
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		// Render under the registry lock into a buffer, then reply outside
+		// it: the simulation is never blocked on a slow scraper's socket.
+		var buf bytes.Buffer
+		rec.withLive(func() { writePrometheus(&buf, rec.Metrics()) })
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		w.Write(buf.Bytes())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// LiveServer is a running telemetry endpoint.
+type LiveServer struct {
+	Addr string // actual listen address (resolves ":0" requests)
+	srv  *http.Server
+	lis  net.Listener
+}
+
+// Serve starts a telemetry server for rec on addr (e.g. ":9090" or
+// "127.0.0.1:0") and returns once the listener is bound. Call before the
+// simulation starts so the registry lock is installed ahead of concurrent
+// access. Close to stop.
+func Serve(addr string, rec *Recorder) (*LiveServer, error) {
+	h := LiveHandler(rec)
+	lis, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &LiveServer{Addr: lis.Addr().String(), srv: &http.Server{Handler: h}, lis: lis}
+	go s.srv.Serve(lis)
+	return s, nil
+}
+
+// Close stops the server and releases the port.
+func (s *LiveServer) Close() error {
+	if s == nil {
+		return nil
+	}
+	return s.srv.Close()
+}
+
+// writePrometheus renders the registry in Prometheus text exposition format
+// (version 0.0.4). Counters become <name>_total counters, gauges become
+// gauges, timings become histograms in seconds built from the HDR buckets
+// (inclusive upper bounds, cumulative counts), plus _sum/_count. The caller
+// must hold the registry lock when the simulation is live.
+func writePrometheus(w io.Writer, reg *Registry) {
+	if reg == nil {
+		return
+	}
+	for _, c := range reg.Counters() {
+		name := promName(c.Name) + "_total"
+		fmt.Fprintf(w, "# HELP %s simulator event counter %q\n", name, c.Name)
+		fmt.Fprintf(w, "# TYPE %s counter\n", name)
+		fmt.Fprintf(w, "%s %d\n", name, c.Value())
+	}
+	for _, g := range reg.Gauges() {
+		name := promName(g.Name)
+		fmt.Fprintf(w, "# HELP %s simulator gauge %q\n", name, g.Name)
+		fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+		fmt.Fprintf(w, "%s %g\n", name, g.Value())
+	}
+	for _, t := range reg.Timings() {
+		name := promName(t.Name) + "_seconds"
+		fmt.Fprintf(w, "# HELP %s simulated latency %q\n", name, t.Name)
+		fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+		t.HDR.Buckets(func(upperNs, cum int64) {
+			fmt.Fprintf(w, "%s_bucket{le=\"%.9g\"} %d\n", name, float64(upperNs)/1e9, cum)
+		})
+		fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, t.HDR.N())
+		fmt.Fprintf(w, "%s_sum %g\n", name, t.HDR.Sum()/1e9)
+		fmt.Fprintf(w, "%s_count %d\n", name, t.HDR.N())
+	}
+}
+
+// promName maps a registry metric name (dotted, free-form) onto the
+// Prometheus name charset [a-zA-Z0-9_:], prefixed with the subsystem.
+func promName(name string) string {
+	var sb strings.Builder
+	sb.WriteString("urllcsim_")
+	for _, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9', r == ':':
+			sb.WriteRune(r)
+		default:
+			sb.WriteByte('_')
+		}
+	}
+	return sb.String()
+}

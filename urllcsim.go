@@ -126,6 +126,13 @@ type ScenarioConfig struct {
 	// Seed makes runs reproducible; runs with equal seeds are identical.
 	Seed uint64
 
+	// Deadline, when positive, audits every packet against this one-way
+	// latency budget (use 500µs for the paper's URLLC bound): the obs
+	// registry gains pkt.deadline_met / pkt.deadline_miss counters plus
+	// budget.miss.<source> attribution of each miss to its dominant
+	// latency source. Zero keeps the run unaudited.
+	Deadline time.Duration
+
 	// Obs, when non-nil, collects structured per-packet spans, named
 	// counters/gauges and slot-aligned metric snapshots during the run;
 	// export them with the internal/obs writers (JSONL, Chrome
@@ -215,6 +222,7 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 		NUEs:         cfg.UEs,
 		PayloadBytes: 32,
 		Seed:         cfg.Seed,
+		Deadline:     sim.Duration(cfg.Deadline),
 		Obs:          cfg.Obs,
 	})
 	if err != nil {
