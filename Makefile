@@ -1,9 +1,10 @@
 GO ?= go
 
-.PHONY: check vet build test race bench lint report-smoke
+.PHONY: check vet build test race bench lint report-smoke sweep-smoke
 
-## check: full verification gate — lint (vet + gofmt), build, race-enabled tests
-check: lint build race
+## check: full verification gate — lint (vet + gofmt), build, race-enabled tests,
+## and the parallel-vs-sequential sweep invariance smoke
+check: lint build race sweep-smoke
 
 vet:
 	$(GO) vet ./...
@@ -35,3 +36,17 @@ report-smoke:
 	grep -q '^run,UL,' $$tmp/feas.csv && \
 	grep -q ',source,,,radio,' $$tmp/steps.csv && \
 	echo "report-smoke OK ($$tmp)" && rm -rf $$tmp
+
+## sweep-smoke: a small parallel config grid must reproduce the sequential
+## golden byte-for-byte — the worker-count-invariance contract, end to end
+sweep-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/urllc-sweep ./cmd/urllc-sweep && \
+	$$tmp/urllc-sweep -pattern DDDU,DM -grantfree false,true -replicas 4 -packets 15 \
+		-summary -parallel 1 -out $$tmp/seq.md && \
+	$$tmp/urllc-sweep -pattern DDDU,DM -grantfree false,true -replicas 4 -packets 15 \
+		-summary -parallel 4 -out $$tmp/par.md && \
+	cmp $$tmp/seq.md $$tmp/par.md && \
+	grep -q 'DM/0.5ms/gf/usb2' $$tmp/par.md && \
+	grep -q 'Budget by latency source' $$tmp/par.md && \
+	echo "sweep-smoke OK: 4-worker grid identical to sequential ($$tmp)" && rm -rf $$tmp

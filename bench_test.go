@@ -51,7 +51,7 @@ func BenchmarkTable2(b *testing.B) {
 	var out string
 	for i := 0; i < b.N; i++ {
 		var err error
-		out, err = experiments.Table2(uint64(i + 1))
+		out, err = experiments.Table2(uint64(i+1), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -64,7 +64,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkFigure3 regenerates the journey breakdown of one ping.
 func BenchmarkFigure3(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Figure3(uint64(i + 1)); err != nil {
+		if _, err := experiments.Figure3(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -110,7 +110,7 @@ func BenchmarkFigure6(b *testing.B) {
 	var sum map[string]experiments.Fig6Stats
 	for i := 0; i < b.N; i++ {
 		var err error
-		sum, err = experiments.Fig6Summary(uint64(i + 1))
+		sum, err = experiments.Fig6Summary(uint64(i+1), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +123,7 @@ func BenchmarkFigure6(b *testing.B) {
 // BenchmarkMmWaveReliability regenerates the FR2 blockage experiment (X1).
 func BenchmarkMmWaveReliability(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MmWave(uint64(i + 1)); err != nil {
+		if _, err := experiments.MmWave(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -132,7 +132,7 @@ func BenchmarkMmWaveReliability(b *testing.B) {
 // BenchmarkSlotDurationSweep regenerates the §4 bottleneck analysis (X2).
 func BenchmarkSlotDurationSweep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.SlotSweep(0); err != nil {
+		if _, err := experiments.SlotSweep(0, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -148,7 +148,7 @@ func BenchmarkSlotDurationSweep(b *testing.B) {
 // BenchmarkTable1_6G regenerates the 0.1 ms target evaluation (X3).
 func BenchmarkTable1_6G(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Table1SixG(0); err != nil {
+		if _, err := experiments.Table1SixG(0, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -157,7 +157,7 @@ func BenchmarkTable1_6G(b *testing.B) {
 // BenchmarkRTKernel regenerates the RT-vs-non-RT reliability ablation (X4).
 func BenchmarkRTKernel(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RTKernel(uint64(i + 1)); err != nil {
+		if _, err := experiments.RTKernel(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -166,7 +166,7 @@ func BenchmarkRTKernel(b *testing.B) {
 // BenchmarkSchedulerMargin regenerates the readiness-margin ablation (A1).
 func BenchmarkSchedulerMargin(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MarginAblation(uint64(i + 1)); err != nil {
+		if _, err := experiments.MarginAblation(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -175,7 +175,7 @@ func BenchmarkSchedulerMargin(b *testing.B) {
 // BenchmarkTable1Assumptions regenerates the mixed-slot sensitivity (A2).
 func BenchmarkTable1Assumptions(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Assumptions(0); err != nil {
+		if _, err := experiments.Assumptions(0, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -184,7 +184,7 @@ func BenchmarkTable1Assumptions(b *testing.B) {
 // BenchmarkMultiUE regenerates the UE-count inflation sweep (A3).
 func BenchmarkMultiUE(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.MultiUE(uint64(i + 1)); err != nil {
+		if _, err := experiments.MultiUE(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -222,7 +222,7 @@ func BenchmarkWorstCaseEngine(b *testing.B) {
 // BenchmarkURLLCAchieved regenerates the three-design feasibility study (X5).
 func BenchmarkURLLCAchieved(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		out, err := experiments.Achieved(uint64(i + 1))
+		out, err := experiments.Achieved(uint64(i+1), 0)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -235,7 +235,7 @@ func BenchmarkURLLCAchieved(b *testing.B) {
 // BenchmarkPingRTT regenerates the round-trip study (X6).
 func BenchmarkPingRTT(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RTT(uint64(i + 1)); err != nil {
+		if _, err := experiments.RTT(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -244,7 +244,7 @@ func BenchmarkPingRTT(b *testing.B) {
 // BenchmarkSRPeriod regenerates the SR-periodicity sweep (A4).
 func BenchmarkSRPeriod(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.SRPeriod(0); err != nil {
+		if _, err := experiments.SRPeriod(0, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -253,7 +253,7 @@ func BenchmarkSRPeriod(b *testing.B) {
 // BenchmarkGFScaling regenerates the grant-free scalability study (A5).
 func BenchmarkGFScaling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.GFScaling(uint64(i + 1)); err != nil {
+		if _, err := experiments.GFScaling(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -262,7 +262,7 @@ func BenchmarkGFScaling(b *testing.B) {
 // BenchmarkRACH regenerates the initial-access study (S1).
 func BenchmarkRACH(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.RACH(0); err != nil {
+		if _, err := experiments.RACH(0, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -271,7 +271,7 @@ func BenchmarkRACH(b *testing.B) {
 // BenchmarkCoverage regenerates the coverage study (S2).
 func BenchmarkCoverage(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Coverage(uint64(i + 1)); err != nil {
+		if _, err := experiments.Coverage(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -280,7 +280,7 @@ func BenchmarkCoverage(b *testing.B) {
 // BenchmarkBLERCurve regenerates the PHY validation (V1).
 func BenchmarkBLERCurve(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.BLERCurve(uint64(i + 1)); err != nil {
+		if _, err := experiments.BLERCurve(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -289,7 +289,7 @@ func BenchmarkBLERCurve(b *testing.B) {
 // BenchmarkLoad regenerates the queueing-collapse sweep (A6).
 func BenchmarkLoad(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Load(uint64(i + 1)); err != nil {
+		if _, err := experiments.Load(uint64(i+1), 0); err != nil {
 			b.Fatal(err)
 		}
 	}

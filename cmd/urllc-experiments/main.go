@@ -4,6 +4,14 @@
 //	urllc-experiments -run table1    # one experiment
 //	urllc-experiments -list          # list experiment ids
 //	urllc-experiments -seed 42       # change the run seed
+//	urllc-experiments -parallel 8    # worker-pool width for sharded runs
+//
+// Sharded experiments fan their replicas across -parallel workers (0 → one
+// per CPU); the merged output is identical for any width (see
+// internal/sweep), so the flag only changes wall-clock time.
+//
+// Every selected experiment runs even when an earlier one fails; failures
+// are reported individually and the exit status is non-zero if any occurred.
 package main
 
 import (
@@ -18,11 +26,16 @@ func main() {
 	run := flag.String("run", "", "experiment id to run (default: all)")
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Uint64("seed", 1, "simulation seed")
+	parallel := flag.Int("parallel", 0, "worker-pool width for sharded experiments (0 = GOMAXPROCS)")
 	flag.Parse()
 
 	if *list {
 		for _, e := range experiments.All {
-			fmt.Printf("%-12s %s\n", e.ID, e.Title)
+			det := ""
+			if e.Deterministic {
+				det = " (seed-independent)"
+			}
+			fmt.Printf("%-12s %s%s\n", e.ID, e.Title, det)
 		}
 		return
 	}
@@ -36,13 +49,19 @@ func main() {
 		}
 		selected = []experiments.Experiment{e}
 	}
+	var failed []string
 	for _, e := range selected {
 		fmt.Printf("==== %s [%s] ====\n", e.Title, e.ID)
-		out, err := e.Run(*seed)
+		out, err := e.Run(*seed, *parallel)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
-			os.Exit(1)
+			failed = append(failed, e.ID)
+			continue
 		}
 		fmt.Println(out)
+	}
+	if len(failed) > 0 {
+		fmt.Fprintf(os.Stderr, "%d/%d experiments failed: %v\n", len(failed), len(selected), failed)
+		os.Exit(1)
 	}
 }

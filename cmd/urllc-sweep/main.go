@@ -1,0 +1,202 @@
+// Command urllc-sweep runs a configuration-grid sweep of the full-system
+// simulator on a parallel worker pool and emits one merged deadline-audit
+// report (internal/obs/analyze) over all replicas of each grid point.
+//
+// The grid is the cross product of the comma-separated axis flags:
+//
+//	urllc-sweep -pattern DDDU,DM -grantfree false,true -radio usb2 \
+//	            -replicas 8 -packets 50 -parallel 4 -seed 1 > report.md
+//
+// Every grid point runs -replicas independent replicas — each with its own
+// engine, RNG (seeded from the replica's global shard index via
+// internal/sweep.Seed) and metrics registry — fanned across -parallel
+// workers. Per-replica traces merge in replica order with packet ids
+// renumbered (analyze.MergeTraces) and per-replica registries merge exactly
+// (counters add, HDR histograms by bucket), so the report is bit-identical
+// for any -parallel value: `-parallel 1` is the golden output of
+// `-parallel N`.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"time"
+
+	"urllcsim"
+	"urllcsim/internal/obs"
+	"urllcsim/internal/obs/analyze"
+	"urllcsim/internal/sim"
+	"urllcsim/internal/sweep"
+)
+
+// point is one grid configuration.
+type point struct {
+	label     string
+	pattern   urllcsim.Pattern
+	slot      urllcsim.SlotScale
+	grantFree bool
+	radio     urllcsim.RadioKind
+}
+
+// replicaOut is what one replica returns into the merge.
+type replicaOut struct {
+	trace *analyze.Trace
+	reg   *obs.Registry
+}
+
+var slotNames = map[string]urllcsim.SlotScale{
+	"1ms": urllcsim.Slot1ms, "0.5ms": urllcsim.Slot0p5ms,
+	"0.25ms": urllcsim.Slot0p25ms, "125us": urllcsim.Slot125us,
+}
+
+var radioNames = map[string]urllcsim.RadioKind{
+	"usb2": urllcsim.RadioUSB2, "usb3": urllcsim.RadioUSB3,
+	"pcie": urllcsim.RadioPCIe, "none": urllcsim.RadioNone,
+}
+
+func main() {
+	patterns := flag.String("pattern", "DDDU", "comma-separated TDD patterns (DDDU, DM, MU, DU, mini-slot, FDD, or a custom D/U/S string)")
+	slots := flag.String("slot", "0.5ms", "comma-separated slot durations: 1ms, 0.5ms, 0.25ms, 125us")
+	grantfree := flag.String("grantfree", "false", "comma-separated UL access modes: false (grant-based), true (grant-free)")
+	radios := flag.String("radio", "usb2", "comma-separated radio front-hauls: usb2, usb3, pcie, none")
+	replicas := flag.Int("replicas", 8, "independent replicas per grid point")
+	packets := flag.Int("packets", 50, "packets per replica per direction")
+	parallel := flag.Int("parallel", 0, "worker-pool width (0 = GOMAXPROCS); results are identical for any value")
+	seed := flag.Uint64("seed", 1, "base seed; replica seeds derive from it per shard")
+	deadline := flag.Duration("deadline", 500*time.Microsecond, "one-way latency budget to audit against")
+	summary := flag.Bool("summary", false, "append the merged metrics-registry summary of each grid point")
+	out := flag.String("out", "", "write the report here instead of stdout")
+	flag.Parse()
+
+	if err := run(*patterns, *slots, *grantfree, *radios, *replicas, *packets,
+		*parallel, *seed, *deadline, *summary, *out); err != nil {
+		fmt.Fprintln(os.Stderr, "urllc-sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(patterns, slots, grantfree, radios string, replicas, packets, parallel int,
+	seed uint64, deadline time.Duration, summary bool, out string) error {
+	grid, err := buildGrid(patterns, slots, grantfree, radios)
+	if err != nil {
+		return err
+	}
+	if replicas < 1 || packets < 1 {
+		return fmt.Errorf("need at least 1 replica and 1 packet")
+	}
+
+	// One job per (point, replica), flattened so a slow grid point cannot
+	// leave workers idle while cheap points queue behind it. The replica
+	// seed is derived from the job's global shard index: independent of the
+	// worker layout by construction.
+	runs, err := sweep.Run(parallel, len(grid)*replicas, func(i int) (replicaOut, error) {
+		return runReplica(grid[i/replicas], sweep.Seed(seed, i), packets, deadline)
+	})
+	if err != nil {
+		return err
+	}
+
+	var audits []*analyze.Audit
+	var summaries strings.Builder
+	for p, pt := range grid {
+		shard := runs[p*replicas : (p+1)*replicas]
+		traces := make([]*analyze.Trace, len(shard))
+		regs := make([]*obs.Registry, len(shard))
+		for i, r := range shard {
+			traces[i], regs[i] = r.trace, r.reg
+		}
+		audits = append(audits, analyze.Run(analyze.MergeTraces(traces...), pt.label, sim.Duration(deadline)))
+		if summary {
+			fmt.Fprintf(&summaries, "\n## Merged registry — %s (%d replicas)\n\n```\n%s```\n",
+				pt.label, replicas, sweep.MergeRegistries(regs).Summary())
+		}
+	}
+
+	var w io.Writer = os.Stdout
+	if out != "" {
+		f, err := os.Create(out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := analyze.WriteMarkdown(w, audits); err != nil {
+		return err
+	}
+	_, err = io.WriteString(w, summaries.String())
+	return err
+}
+
+// runReplica simulates one replica: its own scenario (engine, RNG, recorder),
+// packets offered uniformly in each direction, and returns the trace and
+// registry for the shard-ordered merge.
+func runReplica(pt point, seed uint64, packets int, deadline time.Duration) (replicaOut, error) {
+	rec := obs.NewRecorder()
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern:   pt.pattern,
+		SlotScale: pt.slot,
+		GrantFree: pt.grantFree,
+		Radio:     pt.radio,
+		Seed:      seed,
+		Deadline:  deadline,
+		Obs:       rec,
+	})
+	if err != nil {
+		return replicaOut{}, fmt.Errorf("%s: %w", pt.label, err)
+	}
+	// One packet per direction every 2 ms — comfortably above every
+	// pattern's period, so replicas measure latency, not queueing.
+	const spacing = 2 * time.Millisecond
+	rng := sim.NewRNG(seed ^ 0x5EED)
+	for i := 0; i < packets; i++ {
+		at := time.Duration(i)*spacing + time.Duration(rng.UniformDuration(0, sim.Duration(spacing)))
+		sc.SendUplink(at, 32)
+		sc.SendDownlink(at, 32)
+	}
+	sc.Run(time.Duration(packets+60) * spacing)
+	return replicaOut{trace: analyze.FromRecorder(rec), reg: rec.Metrics()}, nil
+}
+
+// buildGrid crosses the axis lists into labelled grid points.
+func buildGrid(patterns, slots, grantfree, radios string) ([]point, error) {
+	var grid []point
+	for _, p := range strings.Split(patterns, ",") {
+		p = strings.TrimSpace(p)
+		for _, sl := range strings.Split(slots, ",") {
+			sl = strings.TrimSpace(sl)
+			scale, ok := slotNames[sl]
+			if !ok {
+				return nil, fmt.Errorf("unknown slot %q (want 1ms, 0.5ms, 0.25ms or 125us)", sl)
+			}
+			for _, gf := range strings.Split(grantfree, ",") {
+				gf = strings.TrimSpace(gf)
+				if gf != "true" && gf != "false" {
+					return nil, fmt.Errorf("unknown grantfree value %q (want true or false)", gf)
+				}
+				for _, rd := range strings.Split(radios, ",") {
+					rd = strings.TrimSpace(rd)
+					kind, ok := radioNames[rd]
+					if !ok {
+						return nil, fmt.Errorf("unknown radio %q (want usb2, usb3, pcie or none)", rd)
+					}
+					access := "gb"
+					if gf == "true" {
+						access = "gf"
+					}
+					grid = append(grid, point{
+						label:     fmt.Sprintf("%s/%s/%s/%s", p, sl, access, rd),
+						pattern:   urllcsim.Pattern(p),
+						slot:      scale,
+						grantFree: gf == "true",
+						radio:     kind,
+					})
+				}
+			}
+		}
+	}
+	return grid, nil
+}

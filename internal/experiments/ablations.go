@@ -9,12 +9,13 @@ import (
 	"urllcsim/internal/proc"
 	"urllcsim/internal/radio"
 	"urllcsim/internal/sim"
+	"urllcsim/internal/sweep"
 )
 
 // SlotSweep demonstrates §4's bottleneck claim: when the radio latency is
 // 0.3ms, halving the slot duration from 0.25ms does not reduce the
 // worst-case latency proportionally — the radio dominates.
-func SlotSweep(uint64) (string, error) {
+func SlotSweep(_ uint64, _ int) (string, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-6s %10s | %22s | %22s\n", "µ", "slot", "GF UL worst (radio=0)", "GF UL worst (radio=0.3ms)")
 	prev := map[bool]sim.Duration{}
@@ -42,8 +43,8 @@ func SlotSweep(uint64) (string, error) {
 
 // Table1SixG re-evaluates the feasibility matrix against the 0.1ms 6G
 // target of §1/§9.
-func Table1SixG(uint64) (string, error) {
-	m, err := core.Evaluate(core.Table1Configs(nr.Mu2, core.DefaultAssumptions()), core.SixGDeadline)
+func Table1SixG(_ uint64, workers int) (string, error) {
+	m, err := evaluateMatrix(core.Table1Configs(nr.Mu2, core.DefaultAssumptions()), core.SixGDeadline, workers)
 	if err != nil {
 		return "", err
 	}
@@ -56,7 +57,7 @@ func Table1SixG(uint64) (string, error) {
 
 // RTKernel compares deadline reliability under the non-RT and RT OS
 // profiles (§6's mitigation).
-func RTKernel(seed uint64) (string, error) {
+func RTKernel(seed uint64, _ int) (string, error) {
 	run := func(rt bool) (misses int, reliability float64, err error) {
 		cfg, err := TestbedConfig(false, seed)
 		if err != nil {
@@ -108,11 +109,11 @@ func RTKernel(seed uint64) (string, error) {
 }
 
 // MarginAblation sweeps the scheduler's radio-readiness margin (§4: too
-// little → corrupted transmissions; more → added latency).
-func MarginAblation(seed uint64) (string, error) {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-8s %14s %14s %14s\n", "margin", "radio misses", "mean DL [ms]", "delivered")
-	for margin := 0; margin <= 3; margin++ {
+// little → corrupted transmissions; more → added latency). One sweep job per
+// margin value, rows assembled in margin order — byte-identical to the
+// sequential loop.
+func MarginAblation(seed uint64, workers int) (string, error) {
+	rows, err := sweep.Run(workers, 4, func(margin int) (string, error) {
 		cfg, err := TestbedConfig(false, seed)
 		if err != nil {
 			return "", err
@@ -134,7 +135,15 @@ func MarginAblation(seed uint64) (string, error) {
 		if delivered > 0 {
 			meanMs = sum / float64(delivered)
 		}
-		fmt.Fprintf(&sb, "%-8d %14d %14.2f %11d/300\n", margin, s.Counters().RadioMisses, meanMs, delivered)
+		return fmt.Sprintf("%-8d %14d %14.2f %11d/300\n", margin, s.Counters().RadioMisses, meanMs, delivered), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %14s %14s %14s\n", "margin", "radio misses", "mean DL [ms]", "delivered")
+	for _, row := range rows {
+		sb.WriteString(row)
 	}
 	sb.WriteString("\nmargin 0 cannot beat processing+submission time; each extra slot of margin buys\n")
 	sb.WriteString("reliability with latency — the interdependency of §4\n")
@@ -144,7 +153,7 @@ func MarginAblation(seed uint64) (string, error) {
 // Assumptions probes Table 1's sensitivity to the mixed-slot split: with a
 // control-only DL region in the mixed slot (2 symbols), DM loses its DL
 // feasibility and *no* Common Configuration passes.
-func Assumptions(uint64) (string, error) {
+func Assumptions(_ uint64, _ int) (string, error) {
 	var sb strings.Builder
 	for _, split := range []struct{ dl, ul int }{{6, 6}, {4, 8}, {2, 10}} {
 		cfg := core.ConfigDMSplit(nr.Mu2, split.dl, split.ul, core.DefaultAssumptions())
@@ -168,16 +177,16 @@ func Assumptions(uint64) (string, error) {
 }
 
 // MultiUE scales the number of UEs and reports the processing inflation of
-// §7/§9 ("higher number of UEs might increase the processing times").
-func MultiUE(seed uint64) (string, error) {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-6s %16s %16s\n", "UEs", "gNB MAC mean[µs]", "mean DL [ms]")
-	for _, n := range []int{1, 4, 8, 16} {
+// §7/§9 ("higher number of UEs might increase the processing times"). One
+// sweep job per UE count, rows assembled in order.
+func MultiUE(seed uint64, workers int) (string, error) {
+	counts := []int{1, 4, 8, 16}
+	rows, err := sweep.Run(workers, len(counts), func(i int) (string, error) {
 		cfg, err := TestbedConfig(false, seed)
 		if err != nil {
 			return "", err
 		}
-		cfg.NUEs = n
+		cfg.NUEs = counts[i]
 		s, err := runTestbed(cfg, 300, false)
 		if err != nil {
 			return "", err
@@ -191,11 +200,19 @@ func MultiUE(seed uint64) (string, error) {
 			}
 		}
 		meanMs := sum / float64(max(cnt, 1))
-		fmt.Fprintf(&sb, "%-6d %16.1f %16.2f\n", n, s.LayerStats()["MAC"].Mean(), meanMs)
+		return fmt.Sprintf("%-6d %16.1f %16.2f\n", counts[i], s.LayerStats()["MAC"].Mean(), meanMs), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-6s %16s %16s\n", "UEs", "gNB MAC mean[µs]", "mean DL [ms]")
+	for _, row := range rows {
+		sb.WriteString(row)
 	}
 	return sb.String(), nil
 }
 
 func init() {
-	All = append(All, Experiment{"multiue", "A3 — processing inflation with UE count", MultiUE})
+	All = append(All, Experiment{ID: "multiue", Title: "A3 — processing inflation with UE count", Run: MultiUE})
 }

@@ -16,29 +16,41 @@ import (
 	"urllcsim/internal/nr"
 	"urllcsim/internal/radio"
 	"urllcsim/internal/sim"
+	"urllcsim/internal/sweep"
 )
 
-// Experiment is one regenerable artefact.
+// Experiment is one regenerable artefact. Run takes the run seed and the
+// worker-pool width for sharded experiments (0 → GOMAXPROCS; see
+// internal/sweep) — the merged output is identical for any worker count, so
+// workers is a wall-clock knob only.
 type Experiment struct {
 	ID    string // "table1", "figure5", …
 	Title string
-	Run   func(seed uint64) (string, error)
+
+	// Deterministic marks experiments whose report is a pure analytic
+	// computation — worst-case walks and feasibility matrices with no
+	// Monte-Carlo component — so the seed genuinely has no effect. Seeded
+	// experiments must differ across seeds; deterministic ones must not.
+	// TestSeedPlumbing holds both directions.
+	Deterministic bool
+
+	Run func(seed uint64, workers int) (string, error)
 }
 
 // All lists every experiment in paper order.
 var All = []Experiment{
-	{"table1", "Table 1 — 0.5ms feasibility of minimal configurations", Table1},
-	{"table2", "Table 2 — gNB layer processing and queueing times", Table2},
-	{"figure3", "Fig. 3 — temporal breakdown of a ping's journey", Figure3},
-	{"figure4", "Fig. 4 — worst-case latencies, DM configuration", Figure4},
-	{"figure5", "Fig. 5 — sample submission latency vs #samples", Figure5},
-	{"figure6", "Fig. 6 — one-way latency, grant-based vs grant-free", Figure6},
-	{"mmwave", "X1 — mmWave (FR2) sub-ms reliability under blockage", MmWave},
-	{"slotsweep", "X2 — slot duration vs radio latency bottleneck", SlotSweep},
-	{"table1-6g", "X3 — Table 1 against the 0.1ms 6G target", Table1SixG},
-	{"rtkernel", "X4 — RT vs non-RT kernel reliability", RTKernel},
-	{"margin", "A1 — scheduler radio-readiness margin ablation", MarginAblation},
-	{"assumptions", "A2 — Table 1 sensitivity to the mixed-slot split", Assumptions},
+	{ID: "table1", Title: "Table 1 — 0.5ms feasibility of minimal configurations", Deterministic: true, Run: Table1},
+	{ID: "table2", Title: "Table 2 — gNB layer processing and queueing times", Run: Table2},
+	{ID: "figure3", Title: "Fig. 3 — temporal breakdown of a ping's journey", Run: Figure3},
+	{ID: "figure4", Title: "Fig. 4 — worst-case latencies, DM configuration", Deterministic: true, Run: Figure4},
+	{ID: "figure5", Title: "Fig. 5 — sample submission latency vs #samples", Run: Figure5},
+	{ID: "figure6", Title: "Fig. 6 — one-way latency, grant-based vs grant-free", Run: Figure6},
+	{ID: "mmwave", Title: "X1 — mmWave (FR2) sub-ms reliability under blockage", Run: MmWave},
+	{ID: "slotsweep", Title: "X2 — slot duration vs radio latency bottleneck", Deterministic: true, Run: SlotSweep},
+	{ID: "table1-6g", Title: "X3 — Table 1 against the 0.1ms 6G target", Deterministic: true, Run: Table1SixG},
+	{ID: "rtkernel", Title: "X4 — RT vs non-RT kernel reliability", Run: RTKernel},
+	{ID: "margin", Title: "A1 — scheduler radio-readiness margin ablation", Run: MarginAblation},
+	{ID: "assumptions", Title: "A2 — Table 1 sensitivity to the mixed-slot split", Deterministic: true, Run: Assumptions},
 }
 
 // ByID returns the experiment with the given id.
@@ -55,9 +67,44 @@ func ByID(id string) (Experiment, bool) {
 // Table 1
 // ---------------------------------------------------------------------------
 
+// evaluateMatrix is core.Evaluate's grid loop rebuilt on the sweep engine:
+// one job per (configuration, access-mode) cell, assembled back into the
+// matrix in grid order so the result is identical to the sequential
+// evaluation for any worker count.
+func evaluateMatrix(configs []core.Config, deadline sim.Duration, workers int) (*core.Matrix, error) {
+	modes := core.Modes
+	verdicts, err := sweep.Run(workers, len(configs)*len(modes), func(i int) (core.Verdict, error) {
+		c, mode := configs[i/len(modes)], modes[i%len(modes)]
+		j, err := c.WorstCase(mode)
+		if err != nil {
+			return core.Verdict{}, fmt.Errorf("core: %s/%v: %w", c.Name, mode, err)
+		}
+		return core.Verdict{
+			Config:   c.Name,
+			Mode:     mode,
+			Worst:    j.Latency(),
+			Deadline: deadline,
+			Meets:    j.Latency() <= deadline,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	m := &core.Matrix{Deadline: deadline, Cells: map[string]map[core.AccessMode]core.Verdict{}}
+	for ci, c := range configs {
+		m.Configs = append(m.Configs, c.Name)
+		row := map[core.AccessMode]core.Verdict{}
+		for mi, mode := range modes {
+			row[mode] = verdicts[ci*len(modes)+mi]
+		}
+		m.Cells[c.Name] = row
+	}
+	return m, nil
+}
+
 // Table1 evaluates the feasibility matrix and diffs it against the paper.
-func Table1(uint64) (string, error) {
-	m, err := core.Table1()
+func Table1(_ uint64, workers int) (string, error) {
+	m, err := evaluateMatrix(core.Table1Configs(nr.Mu2, core.DefaultAssumptions()), core.URLLCDeadline, workers)
 	if err != nil {
 		return "", err
 	}
@@ -121,26 +168,62 @@ func runTestbed(cfg node.Config, n int, uplink bool) (*node.System, error) {
 	return s, nil
 }
 
+// ReplicaShards is the fixed shard count of the sharded testbed experiments
+// (Table 2, Fig. 6, mmWave, the achieved-designs scorer). It is a property
+// of the experiment, deliberately independent of the worker count and of
+// GOMAXPROCS: the shard layout — and with it every derived seed and merged
+// metric — stays identical whether the shards run on one goroutine or
+// sixteen.
+const ReplicaShards = 8
+
+// runSharded fans the runTestbed traffic pattern over ReplicaShards
+// independent systems — each with its own engine, RNG stream (derived from
+// the shard index via sweep.Seed) and metrics — executed on a worker pool of
+// the given width. The n packets split evenly across shards; systems return
+// in shard order, so folding their results left-to-right is deterministic.
+func runSharded(n int, uplink bool, baseSeed uint64, workers int,
+	build func(seed uint64) (node.Config, error)) ([]*node.System, error) {
+	counts := sweep.Split(n, ReplicaShards)
+	return sweep.Run(workers, ReplicaShards, func(shard int) (*node.System, error) {
+		cfg, err := build(sweep.Seed(baseSeed, shard))
+		if err != nil {
+			return nil, err
+		}
+		return runTestbed(cfg, counts[shard], uplink)
+	})
+}
+
 // PaperTable2 holds the published means/stds (µs) for the diff report.
 var PaperTable2 = map[string][2]float64{
 	"SDAP": {4.65, 6.71}, "PDCP": {8.29, 8.99}, "RLC": {4.12, 8.37},
 	"RLC-q": {484.20, 89.46}, "MAC": {55.21, 16.31}, "PHY": {41.55, 10.83},
 }
 
-// Table2 measures per-layer processing and queueing on the testbed.
-func Table2(seed uint64) (string, error) {
-	cfg, err := TestbedConfig(false, seed)
+// Table2 measures per-layer processing and queueing on the testbed: 2000
+// packets sharded across ReplicaShards parallel replicas, per-layer Welford
+// accumulators merged exactly in shard order.
+func Table2(seed uint64, workers int) (string, error) {
+	systems, err := runSharded(2000, false, seed, workers, func(s uint64) (node.Config, error) {
+		return TestbedConfig(false, s)
+	})
 	if err != nil {
 		return "", err
 	}
-	s, err := runTestbed(cfg, 2000, false)
-	if err != nil {
-		return "", err
+	layers := []string{"SDAP", "PDCP", "RLC", "RLC-q", "MAC", "PHY"}
+	stats := map[string]*metrics.Accumulator{}
+	for _, l := range layers {
+		stats[l] = &metrics.Accumulator{}
 	}
-	stats := s.LayerStats()
+	for _, s := range systems {
+		for l, a := range s.LayerStats() {
+			if m, ok := stats[l]; ok {
+				m.Merge(a)
+			}
+		}
+	}
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-8s %12s %12s %14s %14s\n", "layer", "mean[µs]", "std[µs]", "paper mean", "paper std")
-	for _, l := range []string{"SDAP", "PDCP", "RLC", "RLC-q", "MAC", "PHY"} {
+	for _, l := range layers {
 		a := stats[l]
 		p := PaperTable2[l]
 		fmt.Fprintf(&sb, "%-8s %12.2f %12.2f %14.2f %14.2f\n", l, a.Mean(), a.Std(), p[0], p[1])
@@ -149,7 +232,7 @@ func Table2(seed uint64) (string, error) {
 }
 
 // Figure3 traces one grant-based UL packet's journey.
-func Figure3(seed uint64) (string, error) {
+func Figure3(seed uint64, _ int) (string, error) {
 	cfg, err := TestbedConfig(false, seed)
 	if err != nil {
 		return "", err
@@ -174,16 +257,18 @@ func Figure3(seed uint64) (string, error) {
 // Fig. 4 — worst-case walks on the DM configuration
 // ---------------------------------------------------------------------------
 
-// Figure4 prints the worst-case journeys of the three modes on DM.
-func Figure4(uint64) (string, error) {
+// Figure4 prints the worst-case journeys of the three modes on DM. The
+// three worst-case walks run as one sweep job per mode; rows are assembled
+// in figure order, so the report is identical for any worker count.
+func Figure4(_ uint64, workers int) (string, error) {
 	cfg := core.ConfigDM(nr.Mu2, core.DefaultAssumptions())
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "worst-case latency, %s at µ2 (0.25ms slots, 0.5ms period)\n\n", cfg.Name)
-	for _, mode := range []core.AccessMode{GrantFreeFirst[0], GrantFreeFirst[1], GrantFreeFirst[2]} {
+	rows, err := sweep.Run(workers, len(GrantFreeFirst), func(i int) (string, error) {
+		mode := GrantFreeFirst[i]
 		j, err := cfg.WorstCase(mode)
 		if err != nil {
 			return "", err
 		}
+		var sb strings.Builder
 		fmt.Fprintf(&sb, "%-15s worst %7.3fms  (arrival %.3fms", mode, float64(j.Latency())/1e6, j.Arrival.Millis())
 		if mode == core.GrantBasedUL {
 			fmt.Fprintf(&sb, ", SR@%.3fms, grant done %.3fms", j.SRStart.Millis(), j.GrantEnd.Millis())
@@ -194,6 +279,15 @@ func Figure4(uint64) (string, error) {
 		} else {
 			sb.WriteString("  > 0.5ms ✗\n")
 		}
+		return sb.String(), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "worst-case latency, %s at µ2 (0.25ms slots, 0.5ms period)\n\n", cfg.Name)
+	for _, row := range rows {
+		sb.WriteString(row)
 	}
 	return sb.String(), nil
 }
@@ -205,11 +299,13 @@ var GrantFreeFirst = []core.AccessMode{core.GrantFreeUL, core.GrantBasedUL, core
 // Fig. 5 — submission sweep
 // ---------------------------------------------------------------------------
 
-// Figure5 sweeps sample submissions over USB2 and USB3.
-func Figure5(seed uint64) (string, error) {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-8s %12s %12s %12s %12s\n", "samples", "usb2 p50[µs]", "usb2 max", "usb3 p50[µs]", "usb3 max")
-	for n := 2000; n <= 20000; n += 2000 {
+// Figure5 sweeps sample submissions over USB2 and USB3: one sweep job per
+// sample-count row, each with its own RNG keyed by (seed, n) exactly as the
+// sequential loop was, so rows are byte-identical to the sequential run.
+func Figure5(seed uint64, workers int) (string, error) {
+	sizes := []int{2000, 4000, 6000, 8000, 10000, 12000, 14000, 16000, 18000, 20000}
+	rows, err := sweep.Run(workers, len(sizes), func(i int) (string, error) {
+		n := sizes[i]
 		row := make(map[string][2]float64)
 		for _, b := range []radio.Bus{radio.USB2(), radio.USB3()} {
 			rng := sim.NewRNG(seed + uint64(n))
@@ -222,7 +318,15 @@ func Figure5(seed uint64) (string, error) {
 			row[b.Name] = [2]float64{vals[len(vals)/2], vals[len(vals)-1]}
 		}
 		u2, u3 := row["USB 2.0"], row["USB 3.0"]
-		fmt.Fprintf(&sb, "%-8d %12.1f %12.1f %12.1f %12.1f\n", n, u2[0], u2[1], u3[0], u3[1])
+		return fmt.Sprintf("%-8d %12.1f %12.1f %12.1f %12.1f\n", n, u2[0], u2[1], u3[0], u3[1]), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-8s %12s %12s %12s %12s\n", "samples", "usb2 p50[µs]", "usb2 max", "usb3 p50[µs]", "usb3 max")
+	for _, row := range rows {
+		sb.WriteString(row)
 	}
 	sb.WriteString("\nspikes above the linear trend are OS-scheduling delays (§6)\n")
 	return sb.String(), nil
@@ -239,25 +343,31 @@ type Fig6Stats struct {
 	Delivered, Offered   int
 }
 
-// fig6Run measures one (grantFree, uplink) panel.
-func fig6Run(grantFree, uplink bool, n int, seed uint64) (*metrics.Histogram, Fig6Stats, error) {
-	cfg, err := TestbedConfig(grantFree, seed)
+// fig6Run measures one (grantFree, uplink) panel: n packets sharded over
+// ReplicaShards independent replicas on the worker pool, per-shard
+// histograms merged in shard order (exact N/mean, deterministic reservoir),
+// so the panel is identical for any worker count.
+func fig6Run(grantFree, uplink bool, n int, seed uint64, workers int) (*metrics.Histogram, Fig6Stats, error) {
+	systems, err := runSharded(n, uplink, seed, workers, func(s uint64) (node.Config, error) {
+		return TestbedConfig(grantFree, s)
+	})
 	if err != nil {
 		return nil, Fig6Stats{}, err
 	}
-	s, err := runTestbed(cfg, n, uplink)
-	if err != nil {
-		return nil, Fig6Stats{}, err
-	}
-	h := metrics.NewHistogram(8, 32) // Fig. 6's 0–8 ms axis
 	st := Fig6Stats{Offered: n}
-	for _, r := range s.Results() {
-		if !r.Delivered {
-			continue
+	shardHists := make([]*metrics.Histogram, len(systems))
+	for i, s := range systems {
+		h := metrics.NewHistogram(8, 32) // Fig. 6's 0–8 ms axis
+		for _, r := range s.Results() {
+			if !r.Delivered {
+				continue
+			}
+			st.Delivered++
+			h.AddDuration(r.Latency)
 		}
-		st.Delivered++
-		h.AddDuration(r.Latency)
+		shardHists[i] = h
 	}
+	h := sweep.MergeHistograms(8, 32, shardHists)
 	st.MeanMs = h.Mean()
 	st.P50Ms = h.Percentile(0.5)
 	st.P95Ms = h.Percentile(0.95)
@@ -266,7 +376,7 @@ func fig6Run(grantFree, uplink bool, n int, seed uint64) (*metrics.Histogram, Fi
 }
 
 // Figure6 reproduces both panels: (a) grant-based, (b) grant-free.
-func Figure6(seed uint64) (string, error) {
+func Figure6(seed uint64, workers int) (string, error) {
 	var sb strings.Builder
 	const n = 800
 	for _, gf := range []bool{false, true} {
@@ -280,7 +390,7 @@ func Figure6(seed uint64) (string, error) {
 			if ul {
 				dir = "Uplink"
 			}
-			h, st, err := fig6Run(gf, ul, n, seed)
+			h, st, err := fig6Run(gf, ul, n, seed, workers)
 			if err != nil {
 				return "", err
 			}
@@ -294,7 +404,7 @@ func Figure6(seed uint64) (string, error) {
 }
 
 // Fig6Summary returns the four panels' stats for tests and EXPERIMENTS.md.
-func Fig6Summary(seed uint64) (map[string]Fig6Stats, error) {
+func Fig6Summary(seed uint64, workers int) (map[string]Fig6Stats, error) {
 	out := map[string]Fig6Stats{}
 	for _, gf := range []bool{false, true} {
 		for _, ul := range []bool{false, true} {
@@ -307,7 +417,7 @@ func Fig6Summary(seed uint64) (map[string]Fig6Stats, error) {
 			} else {
 				key += "dl"
 			}
-			_, st, err := fig6Run(gf, ul, 400, seed)
+			_, st, err := fig6Run(gf, ul, 400, seed, workers)
 			if err != nil {
 				return nil, err
 			}
@@ -324,31 +434,36 @@ func Fig6Summary(seed uint64) (map[string]Fig6Stats, error) {
 // MmWave measures the fraction of sub-millisecond round trips on an FR2
 // (µ3) system behind a LoS/NLoS blockage channel — the paper's §1 argument
 // that mmWave reaches sub-ms only a few percent of the time [19].
-func MmWave(seed uint64) (string, error) {
+func MmWave(seed uint64, workers int) (string, error) {
 	g, err := nr.BuildGrid(nr.CommonConfig{Mu: nr.Mu3, Pattern1: nr.PatternDDDU(nr.Mu3)}, 2, "FR2-DDDU")
 	if err != nil {
 		return "", err
 	}
 	mk := func(uplink bool) (*metrics.Histogram, error) {
-		rng := sim.NewRNG(seed + 99)
-		cfg := node.Config{
-			Label: "mmwave", Grid: g, GrantFree: true,
-			GNBRadio: radio.LowLatencySDR(),
-			Channel:  channel.NewBlockage(22, 25, 120*sim.Millisecond, 40*sim.Millisecond, rng),
-			MCSIndex: 10, MarginSlots: 1, K2Slots: 1, HARQMaxTx: 6,
-			CoreLatency: 30 * sim.Microsecond, PayloadBytes: 32, Seed: seed,
-		}
-		s, err := runTestbed(cfg, 1200, uplink)
+		systems, err := runSharded(1200, uplink, seed, workers, func(s uint64) (node.Config, error) {
+			return node.Config{
+				Label: "mmwave", Grid: g, GrantFree: true,
+				GNBRadio: radio.LowLatencySDR(),
+				Channel: channel.NewBlockage(22, 25, 120*sim.Millisecond, 40*sim.Millisecond,
+					sim.NewRNG(s+99)),
+				MCSIndex: 10, MarginSlots: 1, K2Slots: 1, HARQMaxTx: 6,
+				CoreLatency: 30 * sim.Microsecond, PayloadBytes: 32, Seed: s,
+			}, nil
+		})
 		if err != nil {
 			return nil, err
 		}
-		h := metrics.NewHistogram(20, 40)
-		for _, r := range s.Results() {
-			if r.Delivered {
-				h.AddDuration(r.Latency)
+		shardHists := make([]*metrics.Histogram, len(systems))
+		for i, s := range systems {
+			h := metrics.NewHistogram(20, 40)
+			for _, r := range s.Results() {
+				if r.Delivered {
+					h.AddDuration(r.Latency)
+				}
 			}
+			shardHists[i] = h
 		}
-		return h, nil
+		return sweep.MergeHistograms(20, 40, shardHists), nil
 	}
 	dl, err := mk(false)
 	if err != nil {

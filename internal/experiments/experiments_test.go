@@ -29,7 +29,7 @@ func TestAllExperimentsRegistered(t *testing.T) {
 }
 
 func TestTable1ExperimentMatchesPaper(t *testing.T) {
-	out, err := Table1(0)
+	out, err := Table1(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +39,7 @@ func TestTable1ExperimentMatchesPaper(t *testing.T) {
 }
 
 func TestTable2ExperimentShape(t *testing.T) {
-	out, err := Table2(1)
+	out, err := Table2(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -51,7 +51,7 @@ func TestTable2ExperimentShape(t *testing.T) {
 }
 
 func TestFigure4Verdicts(t *testing.T) {
-	out, err := Figure4(0)
+	out, err := Figure4(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -74,7 +74,7 @@ func TestFigure4Verdicts(t *testing.T) {
 }
 
 func TestFigure5Monotone(t *testing.T) {
-	out, err := Figure5(2)
+	out, err := Figure5(2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -84,7 +84,7 @@ func TestFigure5Monotone(t *testing.T) {
 }
 
 func TestFig6SummaryShape(t *testing.T) {
-	sum, err := Fig6Summary(3)
+	sum, err := Fig6Summary(3, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestFig6SummaryShape(t *testing.T) {
 }
 
 func TestSlotSweepShowsBottleneck(t *testing.T) {
-	out, err := SlotSweep(0)
+	out, err := SlotSweep(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -130,7 +130,7 @@ func TestSlotSweepShowsBottleneck(t *testing.T) {
 }
 
 func TestAssumptionsAblation(t *testing.T) {
-	out, err := Assumptions(0)
+	out, err := Assumptions(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -146,7 +146,7 @@ func TestAssumptionsAblation(t *testing.T) {
 }
 
 func TestMarginAblation(t *testing.T) {
-	out, err := MarginAblation(4)
+	out, err := MarginAblation(4, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +159,7 @@ func TestMarginAblation(t *testing.T) {
 }
 
 func TestRTKernelExperiment(t *testing.T) {
-	out, err := RTKernel(5)
+	out, err := RTKernel(5, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -172,7 +172,7 @@ func TestMmWaveExperiment(t *testing.T) {
 	if testing.Short() {
 		t.Skip("mmWave run is slow")
 	}
-	out, err := MmWave(6)
+	out, err := MmWave(6, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -182,7 +182,7 @@ func TestMmWaveExperiment(t *testing.T) {
 }
 
 func TestMultiUEInflation(t *testing.T) {
-	out, err := MultiUE(7)
+	out, err := MultiUE(7, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestMultiUEInflation(t *testing.T) {
 }
 
 func TestRACHExperiment(t *testing.T) {
-	out, err := RACH(0)
+	out, err := RACH(0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +202,7 @@ func TestRACHExperiment(t *testing.T) {
 }
 
 func TestCoverageCliff(t *testing.T) {
-	out, err := Coverage(1)
+	out, err := Coverage(1, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -228,7 +228,7 @@ func TestCoverageCliff(t *testing.T) {
 }
 
 func TestBLERCurveAgreement(t *testing.T) {
-	out, err := BLERCurve(2)
+	out, err := BLERCurve(2, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -251,11 +251,11 @@ func TestBLERCurveAgreement(t *testing.T) {
 func TestExperimentsDeterministicPerSeed(t *testing.T) {
 	// The whole Fig. 6 pipeline — engine, scheduler, channel, jitter —
 	// must be byte-identical for equal seeds and differ across seeds.
-	a, err := Fig6Summary(9)
+	a, err := Fig6Summary(9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Fig6Summary(9)
+	b, err := Fig6Summary(9, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -264,7 +264,7 @@ func TestExperimentsDeterministicPerSeed(t *testing.T) {
 			t.Fatalf("panel %s diverged between identical seeds: %+v vs %+v", k, a[k], b[k])
 		}
 	}
-	c, err := Fig6Summary(10)
+	c, err := Fig6Summary(10, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -276,5 +276,83 @@ func TestExperimentsDeterministicPerSeed(t *testing.T) {
 	}
 	if same {
 		t.Fatal("different seeds produced identical distributions")
+	}
+}
+
+// TestSeedPlumbing pins the Deterministic flag in both directions: every
+// experiment marked Deterministic must produce byte-identical output across
+// seeds (it is pure closed-form analysis), and a seeded simulation experiment
+// must actually consume its seed — the bug this flag documents was seeds
+// silently ignored.
+func TestSeedPlumbing(t *testing.T) {
+	for _, e := range All {
+		if !e.Deterministic {
+			continue
+		}
+		a, err := e.Run(1, 1)
+		if err != nil {
+			t.Fatalf("%s(seed=1): %v", e.ID, err)
+		}
+		b, err := e.Run(99, 1)
+		if err != nil {
+			t.Fatalf("%s(seed=99): %v", e.ID, err)
+		}
+		if a != b {
+			t.Errorf("%s is marked Deterministic but its output depends on the seed", e.ID)
+		}
+	}
+	// And the converse on a cheap seeded experiment: the ping journey's
+	// processing jitter must follow the seed.
+	a, err := Figure3(1, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Figure3(2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a == b {
+		t.Fatal("figure3 ignores its seed: identical journeys for seeds 1 and 2")
+	}
+}
+
+// TestExperimentsWorkerInvariance is the end-to-end form of the sweep
+// contract: a sharded experiment's full rendered output is byte-identical
+// whether its shards run on 1 worker or 8.
+func TestExperimentsWorkerInvariance(t *testing.T) {
+	for _, e := range []struct {
+		id  string
+		run func(seed uint64, workers int) (string, error)
+	}{
+		{"table1", Table1},
+		{"table2", Table2},
+		{"margin", MarginAblation},
+	} {
+		seq, err := e.run(3, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", e.id, err)
+		}
+		par, err := e.run(3, 8)
+		if err != nil {
+			t.Fatalf("%s: %v", e.id, err)
+		}
+		if seq != par {
+			t.Errorf("%s: 8-worker output differs from sequential:\n-- 1 worker --\n%s-- 8 workers --\n%s", e.id, seq, par)
+		}
+	}
+	// The Fig. 6 distribution pipeline returns structured panels; compare
+	// them field-by-field across worker counts.
+	a, err := Fig6Summary(9, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig6Summary(9, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := range a {
+		if a[k] != b[k] {
+			t.Errorf("fig6 panel %s differs across worker counts: %+v vs %+v", k, a[k], b[k])
+		}
 	}
 }

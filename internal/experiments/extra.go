@@ -16,7 +16,7 @@ import (
 // RACH quantifies the initial-access cost: the 4-step random access a UE
 // pays before any connected-mode latency applies — the implicit premise of
 // the paper's analysis (URLLC UEs stay connected).
-func RACH(uint64) (string, error) {
+func RACH(_ uint64, _ int) (string, error) {
 	g, err := nr.BuildGrid(nr.CommonConfig{Mu: nr.Mu1, Pattern1: nr.PatternDDDU(nr.Mu1)}, 2, "DDDU")
 	if err != nil {
 		return "", err
@@ -49,7 +49,7 @@ func RACH(uint64) (string, error) {
 // Coverage sweeps UE distance on a private factory cell: the link budget
 // sets the SNR, the SNR sets the BLER at the operating MCS, and HARQ turns
 // loss into latency — where in the building does URLLC still hold?
-func Coverage(seed uint64) (string, error) {
+func Coverage(seed uint64, _ int) (string, error) {
 	lb := channel.PrivateFactoryBudget()
 	mcs, err := modulation.MCSByIndex(10)
 	if err != nil {
@@ -97,7 +97,7 @@ func Coverage(seed uint64) (string, error) {
 // BLERCurve validates the PHY chain: Monte-Carlo block error rates of the
 // real encode→flip→Viterbi→CRC path against the analytic model used by the
 // fast simulation path.
-func BLERCurve(seed uint64) (string, error) {
+func BLERCurve(seed uint64, _ int) (string, error) {
 	rng := sim.NewRNG(seed + 5)
 	const blockBytes = 32
 	var sb strings.Builder
@@ -146,8 +146,8 @@ func BLERCurve(seed uint64) (string, error) {
 
 func init() {
 	All = append(All,
-		Experiment{"rach", "S1 — initial access (4-step RACH) cost", RACH},
-		Experiment{"coverage", "S2 — coverage vs URLLC: distance → SNR → BLER → latency", Coverage},
-		Experiment{"blercurve", "V1 — PHY chain validation: Monte-Carlo vs analytic BLER", BLERCurve},
+		Experiment{ID: "rach", Title: "S1 — initial access (4-step RACH) cost", Deterministic: true, Run: RACH},
+		Experiment{ID: "coverage", Title: "S2 — coverage vs URLLC: distance → SNR → BLER → latency", Run: Coverage},
+		Experiment{ID: "blercurve", Title: "V1 — PHY chain validation: Monte-Carlo vs analytic BLER", Run: BLERCurve},
 	)
 }

@@ -12,7 +12,7 @@ import (
 // configuration: dedicated pre-allocation wastes resources and its access
 // delay grows linearly with the UE count; shared (contention) pre-allocation
 // keeps delay flat until collisions take over.
-func GFScaling(seed uint64) (string, error) {
+func GFScaling(seed uint64, _ int) (string, error) {
 	base := multiue.Config{
 		Period:      500 * sim.Microsecond, // DM at µ2
 		Units:       3,                     // 6 UL symbols / 2-symbol packets
@@ -61,5 +61,5 @@ func GFScaling(seed uint64) (string, error) {
 }
 
 func init() {
-	All = append(All, Experiment{"gfscaling", "A5 — grant-free pre-allocation scalability (§9)", GFScaling})
+	All = append(All, Experiment{ID: "gfscaling", Title: "A5 — grant-free pre-allocation scalability (§9)", Run: GFScaling})
 }

@@ -7,6 +7,7 @@ import (
 
 	"urllcsim/internal/node"
 	"urllcsim/internal/sim"
+	"urllcsim/internal/sweep"
 )
 
 // Load sweeps the offered DL traffic on the testbed: as the arrival rate
@@ -14,11 +15,13 @@ import (
 // from the paper's ≈0.4ms scheduling wait into genuine queueing collapse —
 // the "multiple UEs / more traffic" regime §9 flags. Arrivals are Poisson;
 // each packet is 200B.
-func Load(seed uint64) (string, error) {
-	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-18s %12s %12s %12s %14s\n",
-		"offered [pkt/ms]", "mean [ms]", "p99 [ms]", "RLC-q [µs]", "delivered")
-	for _, perMs := range []float64{0.5, 2, 8, 16, 24, 30} {
+func Load(seed uint64, workers int) (string, error) {
+	// Each offered-load row owns its system and its RNG (keyed by the row's
+	// rate), so the rows run as independent sweep jobs and assemble in rate
+	// order — byte-identical to the sequential loop.
+	rates := []float64{0.5, 2, 8, 16, 24, 30}
+	rows, err := sweep.Run(workers, len(rates), func(i int) (string, error) {
+		perMs := rates[i]
 		cfg, err := TestbedConfig(false, seed)
 		if err != nil {
 			return "", err
@@ -46,8 +49,7 @@ func Load(seed uint64) (string, error) {
 			}
 		}
 		if len(lats) == 0 {
-			fmt.Fprintf(&sb, "%-18.1f %12s %12s %12s %9d/%d\n", perMs, "—", "—", "—", 0, n)
-			continue
+			return fmt.Sprintf("%-18.1f %12s %12s %12s %9d/%d\n", perMs, "—", "—", "—", 0, n), nil
 		}
 		sort.Float64s(lats)
 		var sum float64
@@ -55,8 +57,17 @@ func Load(seed uint64) (string, error) {
 			sum += l
 		}
 		rlcq := s.LayerStats()["RLC-q"]
-		fmt.Fprintf(&sb, "%-18.1f %12.2f %12.2f %12.0f %9d/%d\n",
-			perMs, sum/float64(len(lats)), lats[len(lats)*99/100], rlcq.Mean(), len(lats), n)
+		return fmt.Sprintf("%-18.1f %12.2f %12.2f %12.0f %9d/%d\n",
+			perMs, sum/float64(len(lats)), lats[len(lats)*99/100], rlcq.Mean(), len(lats), n), nil
+	})
+	if err != nil {
+		return "", err
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%-18s %12s %12s %12s %14s\n",
+		"offered [pkt/ms]", "mean [ms]", "p99 [ms]", "RLC-q [µs]", "delivered")
+	for _, row := range rows {
+		sb.WriteString(row)
 	}
 	sb.WriteString("\nbelow saturation the RLC queue is pure scheduling wait (Table 2's ≈0.4ms);\n")
 	sb.WriteString("near the DL capacity of DDDU it becomes the system's dominant latency —\n")
@@ -65,5 +76,5 @@ func Load(seed uint64) (string, error) {
 }
 
 func init() {
-	All = append(All, Experiment{"load", "A6 — offered load vs queueing collapse", Load})
+	All = append(All, Experiment{ID: "load", Title: "A6 — offered load vs queueing collapse", Run: Load})
 }

@@ -14,7 +14,7 @@ import (
 // RTT measures full ping round trips (§3's journey, both directions) on the
 // §7 testbed under grant-based and grant-free access, and contrasts them
 // with the analytic 1ms-RTT verdicts of the minimal configurations.
-func RTT(seed uint64) (string, error) {
+func RTT(seed uint64, _ int) (string, error) {
 	var sb strings.Builder
 
 	// --- Simulated: the testbed's ping RTT distribution ---
@@ -72,5 +72,5 @@ func RTT(seed uint64) (string, error) {
 }
 
 func init() {
-	All = append(All, Experiment{"rtt", "X6 — ping round-trip time, simulated and analytic", RTT})
+	All = append(All, Experiment{ID: "rtt", Title: "X6 — ping round-trip time, simulated and analytic", Run: RTT})
 }

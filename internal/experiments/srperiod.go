@@ -11,7 +11,7 @@ import (
 // SRPeriod sweeps the scheduling-request periodicity — one of the §1
 // configuration knobs ("period of scheduling requests") — and shows how it
 // inflates the grant-based UL worst case on FDD and DM.
-func SRPeriod(uint64) (string, error) {
+func SRPeriod(_ uint64, _ int) (string, error) {
 	var sb strings.Builder
 	fmt.Fprintf(&sb, "%-10s %18s %18s\n", "SR period", "FDD GB worst", "DM GB worst")
 	for _, period := range []int{1, 2, 4, 8, 16} {
@@ -43,5 +43,5 @@ func SRPeriod(uint64) (string, error) {
 }
 
 func init() {
-	All = append(All, Experiment{"srperiod", "A4 — scheduling-request periodicity sweep", SRPeriod})
+	All = append(All, Experiment{ID: "srperiod", Title: "A4 — scheduling-request periodicity sweep", Deterministic: true, Run: SRPeriod})
 }

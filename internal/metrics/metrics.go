@@ -41,6 +41,34 @@ func (a *Accumulator) Add(x float64) {
 // AddDuration records a duration in microseconds (the paper's unit).
 func (a *Accumulator) AddDuration(d sim.Duration) { a.Add(float64(d) / 1000) }
 
+// Merge folds o into a using the parallel Welford combination (Chan et al.):
+// count, min and max merge exactly; mean and m2 are the algebraically exact
+// combination of the two streams, so a merged accumulator agrees with one
+// that saw both streams (up to float rounding, which differs from the
+// sequential order of operations but not between merge orders — merging the
+// same shards in the same order always yields bit-identical results). o is
+// left untouched.
+func (a *Accumulator) Merge(o *Accumulator) {
+	if o == nil || o.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = *o
+		return
+	}
+	n := a.n + o.n
+	d := o.mean - a.mean
+	a.m2 += o.m2 + d*d*float64(a.n)*float64(o.n)/float64(n)
+	a.mean += d * float64(o.n) / float64(n)
+	if o.min < a.min {
+		a.min = o.min
+	}
+	if o.max > a.max {
+		a.max = o.max
+	}
+	a.n = n
+}
+
 // N returns the observation count.
 func (a *Accumulator) N() int64 { return a.n }
 
@@ -203,6 +231,72 @@ func (h *Histogram) FractionBelow(x float64) float64 {
 	return float64(n) / float64(len(h.samples))
 }
 
+// Merge folds o into h: bin counts, overflow, N and the running sum add
+// exactly (Mean stays exact past any reservoir), and the retained-sample
+// reservoirs combine deterministically. While the combined sample sets fit
+// under SampleCap the merge simply concatenates them — identical to a
+// histogram that observed h's stream followed by o's. Past the cap the
+// merged reservoir is drawn from both sides without replacement, picking
+// each next sample from a side with probability proportional to the
+// population that side still represents (each retained sample stands for
+// total/retained observations), so inclusion stays uniform across the union.
+// All randomness comes from h's private splitmix64 stream: merging the same
+// shards in the same order is bit-reproducible for any worker layout.
+// Histograms must share geometry (MaxValue, bin count); o is left untouched.
+func (h *Histogram) Merge(o *Histogram) {
+	if o == nil || o.total == 0 {
+		return
+	}
+	if h.MaxValue != o.MaxValue || len(h.Counts) != len(o.Counts) {
+		panic("metrics: merging histograms with different geometry")
+	}
+	for i, c := range o.Counts {
+		h.Counts[i] += c
+	}
+	h.Overflow += o.Overflow
+	if len(h.samples)+len(o.samples) <= SampleCap {
+		h.samples = append(h.samples, o.samples...)
+	} else {
+		h.samples = h.mergeReservoirs(o)
+	}
+	h.total += o.total
+	h.sum += o.sum
+}
+
+// mergeReservoirs draws SampleCap samples from the union of the two
+// reservoirs (see Merge for the sampling contract). Called only when the
+// combined retained sets exceed SampleCap, which implies both sides are
+// non-empty.
+func (h *Histogram) mergeReservoirs(o *Histogram) []float64 {
+	a := h.samples
+	b := make([]float64, len(o.samples))
+	copy(b, o.samples)
+	// Per-sample weights: how many observations one retained sample of each
+	// side represents.
+	wa := float64(h.total) / float64(len(a))
+	wb := float64(o.total) / float64(len(b))
+	remA, remB := float64(h.total), float64(o.total)
+	out := make([]float64, 0, SampleCap)
+	for len(out) < SampleCap {
+		// float53 in [0,1) from the reservoir stream.
+		u := float64(h.nextRand()>>11) / (1 << 53)
+		if (u*(remA+remB) < remA || len(b) == 0) && len(a) > 0 {
+			j := int(h.nextRand() % uint64(len(a)))
+			out = append(out, a[j])
+			a[j] = a[len(a)-1]
+			a = a[:len(a)-1]
+			remA -= wa
+		} else {
+			j := int(h.nextRand() % uint64(len(b)))
+			out = append(out, b[j])
+			b[j] = b[len(b)-1]
+			b = b[:len(b)-1]
+			remB -= wb
+		}
+	}
+	return out
+}
+
 // Mean returns the exact sample mean over all recorded values (a running
 // sum, unaffected by the sample reservoir).
 func (h *Histogram) Mean() float64 {
@@ -257,6 +351,21 @@ func (r *Reliability) Record(delivered bool, lat sim.Duration) {
 	if lat <= r.Deadline {
 		r.Met++
 	}
+}
+
+// Merge folds o's bookkeeping into r — exact, since every field is a count.
+// The deadlines must match; merging audits against different budgets is a
+// programming error.
+func (r *Reliability) Merge(o *Reliability) {
+	if o == nil {
+		return
+	}
+	if r.Deadline != o.Deadline {
+		panic("metrics: merging reliabilities with different deadlines")
+	}
+	r.Offered += o.Offered
+	r.Met += o.Met
+	r.Lost += o.Lost
 }
 
 // Value returns the achieved reliability in [0,1].

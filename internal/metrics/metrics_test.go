@@ -2,6 +2,7 @@ package metrics
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"testing/quick"
@@ -311,4 +312,184 @@ func TestTableRendering(t *testing.T) {
 	if !strings.Contains(s, "SDAP") || !strings.Contains(s, "484.20") || !strings.Contains(s, "Mean") {
 		t.Fatalf("table:\n%s", s)
 	}
+}
+
+func TestAccumulatorMergeMatchesSequential(t *testing.T) {
+	rng := sim.NewRNG(7)
+	var seq, a, b Accumulator
+	for i := 0; i < 1000; i++ {
+		x := rng.Normal(50, 12)
+		seq.Add(x)
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(&b)
+	if a.N() != seq.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), seq.N())
+	}
+	if math.Abs(a.Mean()-seq.Mean()) > 1e-9 || math.Abs(a.Std()-seq.Std()) > 1e-9 {
+		t.Fatalf("merged moments %v/%v, sequential %v/%v", a.Mean(), a.Std(), seq.Mean(), seq.Std())
+	}
+	if a.Min() != seq.Min() || a.Max() != seq.Max() {
+		t.Fatalf("merged min/max %v/%v, sequential %v/%v", a.Min(), a.Max(), seq.Min(), seq.Max())
+	}
+}
+
+func TestAccumulatorMergeEmptySides(t *testing.T) {
+	var empty, full Accumulator
+	full.Add(3)
+	full.Add(5)
+	got := full
+	got.Merge(&empty) // no-op
+	if got != full {
+		t.Fatalf("merging an empty accumulator changed state: %+v", got)
+	}
+	var dst Accumulator
+	dst.Merge(&full) // adopt
+	if dst != full {
+		t.Fatalf("empty destination must adopt the source: %+v vs %+v", dst, full)
+	}
+	dst.Merge(nil) // nil-safe
+	if dst != full {
+		t.Fatal("nil merge changed state")
+	}
+}
+
+// TestHistogramMergeUnderCapIsConcatenation: while the combined retained sets
+// fit under SampleCap, a merged histogram retains exactly the concatenation of
+// both streams — bins, overflow, N and every sample match a histogram that
+// observed both streams sequentially. (Only the running float sum may differ
+// in the last bits, because merging adds two partial sums instead of 2000
+// individual values.)
+func TestHistogramMergeUnderCapIsConcatenation(t *testing.T) {
+	rng := sim.NewRNG(11)
+	seq := NewHistogram(8, 32)
+	a := NewHistogram(8, 32)
+	b := NewHistogram(8, 32)
+	var xs []float64
+	for i := 0; i < 2000; i++ {
+		xs = append(xs, rng.Uniform(0, 10)) // includes overflow values
+	}
+	for _, x := range xs[:800] {
+		seq.Add(x)
+		a.Add(x)
+	}
+	for _, x := range xs[800:] {
+		seq.Add(x)
+		b.Add(x)
+	}
+	a.Merge(b)
+	if !reflect.DeepEqual(a.Counts, seq.Counts) || a.Overflow != seq.Overflow || a.N() != seq.N() {
+		t.Fatalf("under-cap merge bins differ from sequential feed:\nmerged %v +%d\nsequential %v +%d",
+			a.Counts, a.Overflow, seq.Counts, seq.Overflow)
+	}
+	if a.Retained() != seq.Retained() || a.Percentile(0) != seq.Percentile(0) || a.Percentile(1) != seq.Percentile(1) {
+		t.Fatalf("under-cap merge must retain every sample: %d vs %d", a.Retained(), seq.Retained())
+	}
+	for _, p := range []float64{0.1, 0.5, 0.9, 0.99} {
+		if a.Percentile(p) != seq.Percentile(p) {
+			t.Fatalf("p%v differs: %v vs %v", p*100, a.Percentile(p), seq.Percentile(p))
+		}
+	}
+	if math.Abs(a.Mean()-seq.Mean()) > 1e-12 {
+		t.Fatalf("merged mean %v, sequential %v", a.Mean(), seq.Mean())
+	}
+}
+
+// TestHistogramMergeOverCap: past SampleCap the reservoirs combine into a
+// bounded, deterministic, representative sample while N and Mean stay exact.
+func TestHistogramMergeOverCap(t *testing.T) {
+	build := func() (*Histogram, *Histogram) {
+		a := NewHistogram(8, 32)
+		b := NewHistogram(8, 32)
+		ra := sim.NewRNG(1)
+		rb := sim.NewRNG(2)
+		for i := 0; i < 40000; i++ {
+			a.Add(ra.Uniform(0, 1))
+			b.Add(rb.Uniform(2, 3))
+		}
+		return a, b
+	}
+	a, b := build()
+	exactMean := (a.Mean()*float64(a.N()) + b.Mean()*float64(b.N())) / float64(a.N()+b.N())
+	a.Merge(b)
+	if a.N() != 80000 {
+		t.Fatalf("merged N = %d, want 80000", a.N())
+	}
+	if a.Retained() != SampleCap {
+		t.Fatalf("merged reservoir holds %d samples, want the %d cap", a.Retained(), SampleCap)
+	}
+	if math.Abs(a.Mean()-exactMean) > 1e-12 {
+		t.Fatalf("merged mean %v, exact %v — Mean must not depend on the reservoir", a.Mean(), exactMean)
+	}
+	// Equal totals and equal retained counts → uniform draw from the union:
+	// about half the reservoir comes from each side's disjoint value range.
+	if got := a.FractionBelow(1.5); math.Abs(got-0.5) > 0.02 {
+		t.Fatalf("reservoir unrepresentative: FractionBelow(1.5) = %v, want ≈0.5", got)
+	}
+	// Bin counts merged exactly regardless of sampling.
+	if a.Counts[0] == 0 || a.Counts[8] == 0 {
+		t.Fatalf("merged bins lost a side: %v", a.Counts)
+	}
+	// Determinism: the identical merge reproduces the identical reservoir.
+	c, d := build()
+	c.Merge(d)
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("repeating the same merge produced a different reservoir")
+	}
+}
+
+func TestHistogramMergeGeometryPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("geometry mismatch accepted")
+		}
+	}()
+	a := NewHistogram(8, 32)
+	b := NewHistogram(8, 16)
+	b.Add(1)
+	a.Merge(b)
+}
+
+func TestHistogramMergeEmptyAndNil(t *testing.T) {
+	a := NewHistogram(8, 32)
+	a.Add(1)
+	want := NewHistogram(8, 32)
+	want.Add(1)
+	a.Merge(nil)
+	a.Merge(NewHistogram(8, 32))
+	if !reflect.DeepEqual(a, want) {
+		t.Fatalf("empty/nil merges changed state: %+v", a)
+	}
+}
+
+func TestReliabilityMerge(t *testing.T) {
+	a := Reliability{Deadline: 500 * sim.Microsecond}
+	b := Reliability{Deadline: 500 * sim.Microsecond}
+	a.Record(true, 400*sim.Microsecond)
+	a.Record(false, 0)
+	b.Record(true, 600*sim.Microsecond)
+	b.Record(true, 100*sim.Microsecond)
+	a.Merge(&b)
+	if a.Offered != 4 || a.Met != 2 || a.Lost != 1 {
+		t.Fatalf("merged counts wrong: %+v", a)
+	}
+	a.Merge(nil)
+	if a.Offered != 4 {
+		t.Fatal("nil merge changed state")
+	}
+}
+
+func TestReliabilityMergeDeadlineMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("deadline mismatch accepted")
+		}
+	}()
+	a := Reliability{Deadline: sim.Millisecond}
+	b := Reliability{Deadline: 2 * sim.Millisecond}
+	a.Merge(&b)
 }

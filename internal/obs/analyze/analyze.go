@@ -274,3 +274,44 @@ func Run(tr *Trace, label string, deadline sim.Duration) *Audit {
 func FromRecorder(rec *obs.Recorder) *Trace {
 	return &Trace{Spans: rec.Spans(), Outcomes: rec.Outcomes(), Events: rec.Events()}
 }
+
+// MergeTraces concatenates shard traces into one, renumbering packet ids so
+// journeys from different shards can never collide: shard i's ids are offset
+// past the largest id of every earlier shard. Non-packet-scoped events
+// (packet −1) keep their sentinel. The merge is pure concatenation in the
+// given shard order, so a fixed order yields a byte-identical trace no
+// matter how the shards were produced (see internal/sweep); nil shards are
+// skipped.
+func MergeTraces(shards ...*Trace) *Trace {
+	out := &Trace{}
+	base := 0
+	for _, tr := range shards {
+		if tr == nil {
+			continue
+		}
+		next := base
+		renumber := func(packet int) int {
+			if packet < 0 {
+				return packet
+			}
+			if id := base + packet; id >= next {
+				next = id + 1
+			}
+			return base + packet
+		}
+		for _, s := range tr.Spans {
+			s.Packet = renumber(s.Packet)
+			out.Spans = append(out.Spans, s)
+		}
+		for _, o := range tr.Outcomes {
+			o.Packet = renumber(o.Packet)
+			out.Outcomes = append(out.Outcomes, o)
+		}
+		for _, e := range tr.Events {
+			e.Packet = renumber(e.Packet)
+			out.Events = append(out.Events, e)
+		}
+		base = next
+	}
+	return out
+}

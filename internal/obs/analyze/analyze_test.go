@@ -287,3 +287,49 @@ func TestCSVFieldQuoting(t *testing.T) {
 		t.Fatalf("csvField quoting wrong: %q", got)
 	}
 }
+
+func TestMergeTraces(t *testing.T) {
+	tr1 := &Trace{
+		Spans: []obs.Span{
+			span(0, obs.DirUL, obs.LayerStack, "a", core.Processing, 0, 10),
+			span(2, obs.DirUL, obs.LayerStack, "a", core.Processing, 5, 10),
+		},
+		Outcomes: []obs.Outcome{
+			{Packet: 0, Dir: obs.DirUL, Delivered: true, Latency: 10},
+			{Packet: 2, Dir: obs.DirUL, Delivered: true, Latency: 10},
+		},
+		Events: []obs.Event{
+			{Time: 1, Name: "slot", Packet: -1},
+			{Time: 2, Name: "tx", Packet: 2},
+		},
+	}
+	tr2 := &Trace{
+		Spans: []obs.Span{
+			span(0, obs.DirDL, obs.LayerStack, "b", core.Radio, 0, 20),
+			span(1, obs.DirDL, obs.LayerStack, "b", core.Radio, 3, 20),
+		},
+		Outcomes: []obs.Outcome{{Packet: 0, Dir: obs.DirDL, Delivered: true, Latency: 20}},
+	}
+	m := MergeTraces(tr1, nil, tr2)
+	// Shard 1 used ids 0 and 2, so shard 2's ids start at 3.
+	if got := []int{m.Spans[0].Packet, m.Spans[1].Packet, m.Spans[2].Packet, m.Spans[3].Packet}; !reflect.DeepEqual(got, []int{0, 2, 3, 4}) {
+		t.Fatalf("span ids renumbered to %v, want [0 2 3 4]", got)
+	}
+	if m.Outcomes[2].Packet != 3 {
+		t.Fatalf("outcome ids must renumber consistently with spans: %d", m.Outcomes[2].Packet)
+	}
+	if m.Events[0].Packet != -1 {
+		t.Fatal("non-packet-scoped sentinel must survive the merge")
+	}
+	if m.Events[1].Packet != 2 {
+		t.Fatalf("event id wrong: %d", m.Events[1].Packet)
+	}
+	// Journeys from different shards never collide: 3 distinct journeys.
+	if js := Journeys(m); len(js) != 4 {
+		t.Fatalf("merged trace groups into %d journeys, want 4", len(js))
+	}
+	// Source traces untouched.
+	if tr1.Spans[1].Packet != 2 || tr2.Spans[0].Packet != 0 {
+		t.Fatal("merge mutated a source trace")
+	}
+}

@@ -172,3 +172,58 @@ func TestLayerAndDirStrings(t *testing.T) {
 		t.Fatal("dir names wrong")
 	}
 }
+
+func TestRegistryMerge(t *testing.T) {
+	r1 := NewRegistry()
+	r1.Counter("pkt.offered").Add(2)
+	r1.Gauge("queue.depth").Set(1.5)
+	r1.Timing("pkt.latency").Observe(100 * sim.Microsecond)
+	r1.Timing("pkt.latency").Observe(200 * sim.Microsecond)
+	r1.Snapshot(0)
+
+	r2 := NewRegistry()
+	r2.Counter("pkt.offered").Add(3)
+	r2.Counter("pkt.lost").Add(7)
+	r2.Gauge("queue.depth").Set(2.5)
+	r2.Timing("pkt.latency").Observe(300 * sim.Microsecond)
+	r2.Timing("bus.submit").Observe(50 * sim.Microsecond)
+
+	m := NewRegistry()
+	m.Merge(r1)
+	m.Merge(r2)
+	m.Merge(nil)
+
+	if got := m.Counter("pkt.offered").Value(); got != 5 {
+		t.Fatalf("counters must add: pkt.offered = %d", got)
+	}
+	if got := m.Counter("pkt.lost").Value(); got != 7 {
+		t.Fatalf("new instruments must register: pkt.lost = %d", got)
+	}
+	if got := m.Gauge("queue.depth").Value(); got != 2.5 {
+		t.Fatalf("gauges are last-value-wins: got %v", got)
+	}
+	lat := m.Timing("pkt.latency")
+	if lat.Acc.N() != 3 || lat.Acc.Mean() != 200 {
+		t.Fatalf("timing distributions must merge: n=%d mean=%v", lat.Acc.N(), lat.Acc.Mean())
+	}
+	if lat.HDR.N() != 3 || lat.Hist.N() != 3 {
+		t.Fatalf("histograms not merged: hdr=%d hist=%d", lat.HDR.N(), lat.Hist.N())
+	}
+	if m.Timing("bus.submit").Acc.N() != 1 {
+		t.Fatal("timing new to the destination lost")
+	}
+	// Registration order: r1's instruments first, then r2's novelties.
+	cs := m.Counters()
+	if len(cs) != 2 || cs[0].Name != "pkt.offered" || cs[1].Name != "pkt.lost" {
+		t.Fatalf("merged registration order nondeterministic: %v", cs)
+	}
+	// Snapshots stay with their shard: their columns index the source
+	// registry's registration order.
+	if len(m.Snapshots()) != 0 {
+		t.Fatalf("snapshots must not merge, got %d", len(m.Snapshots()))
+	}
+	// Sources untouched.
+	if r1.Counter("pkt.offered").Value() != 2 || r2.Counter("pkt.offered").Value() != 3 {
+		t.Fatal("merge mutated a source registry")
+	}
+}

@@ -57,6 +57,19 @@ func (t *Timing) Observe(d sim.Duration) {
 	t.HDR.AddDuration(d)
 }
 
+// Merge folds o's series into t: the accumulator via the exact parallel
+// Welford combination, the fixed-bin histogram via its deterministic
+// reservoir merge, and the HDR histogram via its exact bucket merge. o is
+// left untouched.
+func (t *Timing) Merge(o *Timing) {
+	if o == nil {
+		return
+	}
+	t.Acc.Merge(&o.Acc)
+	t.Hist.Merge(o.Hist)
+	t.HDR.Merge(o.HDR)
+}
+
 // Snapshot is the value of every counter and gauge at one instant, in
 // registration order. Counters or gauges registered after this snapshot was
 // taken are absent from it (the slices are shorter) — consumers align by
@@ -163,6 +176,32 @@ func (r *Registry) Snapshot(t sim.Time) {
 
 // Snapshots returns the recorded snapshots in time order.
 func (r *Registry) Snapshots() []Snapshot { return r.snaps }
+
+// Merge folds o into r, matching instruments by name: counters add, timings
+// merge their full distributions (exact HDR buckets, exact means,
+// deterministic percentile reservoirs), and gauges — last-value-wins
+// semantics — take o's value, so a sequence of merges ends with the last
+// shard's reading. Instruments new to r are registered in o's order after
+// r's existing ones, keeping merged registration order deterministic for a
+// fixed merge order. Snapshots are NOT merged: their columns index the
+// source registry's registration order, which need not match r's — per-shard
+// timelines stay with their shard. Merging shard registries in a fixed shard
+// order yields bit-identical results however the shards were scheduled; see
+// internal/sweep.
+func (r *Registry) Merge(o *Registry) {
+	if o == nil {
+		return
+	}
+	for _, c := range o.counters {
+		r.Counter(c.Name).Add(c.v)
+	}
+	for _, g := range o.gauges {
+		r.Gauge(g.Name).Set(g.v)
+	}
+	for _, t := range o.timings {
+		r.Timing(t.Name).Merge(t)
+	}
+}
 
 // Summary renders counters, gauges and timing statistics as an aligned text
 // block for terminal reports.

@@ -22,6 +22,14 @@ func splitmix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// SplitMix64 is the stateless splitmix64 mix: the output of one splitmix64
+// step whose state was x. Composing it derives decorrelated seeds from a
+// base seed and an index (internal/sweep's per-shard seeds) without sharing
+// any generator state between the derived streams.
+func SplitMix64(x uint64) uint64 {
+	return splitmix64(&x)
+}
+
 // NewRNG returns a generator seeded from seed.
 func NewRNG(seed uint64) *RNG {
 	r := &RNG{}
