@@ -1,10 +1,18 @@
 GO ?= go
 
-.PHONY: check vet build test race bench lint report-smoke sweep-smoke
+# Tolerance for the perf-regression gates. bench-check (a deliberate
+# before/after measurement) gates tightly; bench-smoke runs inside `make
+# check` with few iterations on a possibly-loaded machine, so it gates
+# loosely — its job is exercising the whole produce→validate→compare
+# pipeline every time, not adjudicating small deltas.
+BENCH_TOL  ?= 10%
+SMOKE_TOL  ?= 500%
+
+.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke
 
 ## check: full verification gate — lint (vet + gofmt), build, race-enabled tests,
-## and the parallel-vs-sequential sweep invariance smoke
-check: lint build race sweep-smoke
+## the parallel-vs-sequential sweep invariance smoke, and the benchmark-harness smoke
+check: lint build race sweep-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -23,9 +31,37 @@ test:
 race:
 	$(GO) test -race ./...
 
-## bench: regenerate every table/figure benchmark plus the tracing-overhead gate
-bench:
+## bench-go: regenerate every table/figure benchmark plus the tracing-overhead
+## gate through `go test` directly (the pre-harness form of `make bench`)
+bench-go:
 	$(GO) test -bench=. -benchmem ./...
+
+## bench: run the declared urllc-bench suite and record a timestamped,
+## schema-versioned perf snapshot (ns/op, B/op, allocs/op, events/sec, and the
+## engine self-profile) for the perf trajectory
+bench:
+	$(GO) run ./cmd/urllc-bench -out BENCH_$$(date -u +%Y%m%dT%H%M%SZ).json
+
+## bench-check: run the suite and gate against the committed baseline —
+## exits non-zero with a delta table if any benchmark slowed beyond BENCH_TOL
+bench-check:
+	$(GO) run ./cmd/urllc-bench -baseline BENCH_baseline.json -check -tolerance $(BENCH_TOL)
+
+## bench-smoke: exercise the whole benchmark-harness pipeline quickly —
+## short suite with few iterations, schema validation, the self-comparison
+## must pass the gate (exit 0), and an injected 100x regression must trip it
+## (exit 1); finally a loose-tolerance check against the committed baseline
+bench-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/urllc-bench ./cmd/urllc-bench && \
+	$$tmp/urllc-bench -short -benchtime 5x -out $$tmp/smoke.json >/dev/null && \
+	$$tmp/urllc-bench -validate $$tmp/smoke.json && \
+	$$tmp/urllc-bench -baseline $$tmp/smoke.json -input $$tmp/smoke.json -check >/dev/null && \
+	sed 's/"ns_per_op": /"ns_per_op": 100/' $$tmp/smoke.json > $$tmp/slow.json && \
+	if $$tmp/urllc-bench -baseline $$tmp/smoke.json -input $$tmp/slow.json -check >/dev/null 2>&1; then \
+		echo "bench-smoke FAIL: injected regression did not trip the gate"; exit 1; fi && \
+	$$tmp/urllc-bench -baseline BENCH_baseline.json -input $$tmp/smoke.json -check -tolerance $(SMOKE_TOL) >/dev/null && \
+	echo "bench-smoke OK: schema valid, self-check clean, injected regression caught ($$tmp)" && rm -rf $$tmp
 
 ## report-smoke: end-to-end JSONL → urllc-report round trip in a temp dir
 report-smoke:

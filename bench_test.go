@@ -193,6 +193,7 @@ func BenchmarkMultiUE(b *testing.B) {
 // BenchmarkScenarioThroughput measures raw simulator speed: full-stack
 // packets simulated per second (engineering metric, not a paper artefact).
 func BenchmarkScenarioThroughput(b *testing.B) {
+	b.ReportAllocs()
 	sc, err := NewScenario(ScenarioConfig{
 		Pattern: PatternDDDU, SlotScale: Slot0p5ms, Radio: RadioUSB2, Seed: 1,
 	})
@@ -207,16 +208,21 @@ func BenchmarkScenarioThroughput(b *testing.B) {
 	if len(rs) != b.N {
 		b.Fatalf("resolved %d/%d", len(rs), b.N)
 	}
+	b.ReportMetric(float64(sc.Engine().Steps())/b.Elapsed().Seconds(), "events/sec")
 }
 
-// BenchmarkWorstCaseEngine measures the analytic engine's speed.
+// BenchmarkWorstCaseEngine measures the analytic engine's speed. One walk
+// is the analytic equivalent of one engine event, so events/sec here and in
+// BenchmarkScenarioThroughput are comparable throughput trends.
 func BenchmarkWorstCaseEngine(b *testing.B) {
+	b.ReportAllocs()
 	cfg := core.ConfigDM(nr.Mu2, core.DefaultAssumptions())
 	for i := 0; i < b.N; i++ {
 		if _, err := cfg.WorstCase(core.GrantBasedUL); err != nil {
 			b.Fatal(err)
 		}
 	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "events/sec")
 }
 
 // BenchmarkURLLCAchieved regenerates the three-design feasibility study (X5).

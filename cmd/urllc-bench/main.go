@@ -1,0 +1,206 @@
+// Command urllc-bench turns the repository's benchmarks into a persisted,
+// comparable perf trajectory. It runs the declared suite (internal/bench)
+// in-process via testing.Benchmark, profiles a reference full-stack scenario
+// with the engine self-profiler (internal/obs/prof), and emits one
+// schema-versioned BENCH_<timestamp>.json recording machine, commit,
+// per-benchmark ns/op, B/op, allocs/op and events/sec, plus the profiler's
+// per-event-type wall-share breakdown.
+//
+//	urllc-bench                         # run suite, write BENCH_<ts>.json
+//	urllc-bench -short -benchtime 10x   # smoke run (heavy entries skipped)
+//	urllc-bench -baseline OLD.json -check -tolerance 10%
+//	urllc-bench -baseline OLD.json -input NEW.json -check
+//	urllc-bench -validate FILE.json
+//
+// With -check, the exit status is the regression gate: non-zero when any
+// benchmark common to both files got slower than the tolerance allows, with
+// a per-benchmark delta table on stdout — every future perf-claiming PR can
+// (and must) show this before/after artifact.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"regexp"
+	"testing"
+	"time"
+
+	"urllcsim"
+	"urllcsim/internal/bench"
+	"urllcsim/internal/obs/prof"
+)
+
+func main() {
+	testing.Init() // registers -test.* flags; required before testing.Benchmark
+	out := flag.String("out", "", "write the BENCH JSON here (default BENCH_<timestamp>.json; \"-\" for none)")
+	baseline := flag.String("baseline", "", "BENCH JSON to compare against")
+	input := flag.String("input", "", "compare this BENCH JSON instead of running the suite (requires -baseline)")
+	check := flag.Bool("check", false, "exit non-zero when any benchmark regressed past -tolerance vs -baseline")
+	tolerance := flag.String("tolerance", "10%", "allowed ns/op growth before -check fails (e.g. 10%, 0.25)")
+	benchtime := flag.String("benchtime", "1s", "per-benchmark measuring time (testing syntax: 1s, 100ms, 50x)")
+	short := flag.Bool("short", false, "skip heavy suite entries (sweep scaling, Table 1) — the smoke configuration")
+	run := flag.String("run", "", "regexp selecting suite entries to run")
+	noProfile := flag.Bool("no-profile", false, "skip the profiled reference scenario run")
+	validate := flag.String("validate", "", "validate this BENCH JSON against the schema and exit")
+	list := flag.Bool("list", false, "list the declared suite and exit")
+	flag.Parse()
+
+	if err := mainErr(*out, *baseline, *input, *tolerance, *benchtime, *run,
+		*validate, *check, *short, *noProfile, *list); err != nil {
+		fmt.Fprintln(os.Stderr, "urllc-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func mainErr(out, baseline, input, tolerance, benchtime, runPat, validate string,
+	check, short, noProfile, list bool) error {
+	if list {
+		for _, bm := range bench.Suite() {
+			heavy := ""
+			if bm.Heavy {
+				heavy = " [heavy]"
+			}
+			fmt.Printf("%-24s %s%s\n", bm.Name, bm.Desc, heavy)
+		}
+		return nil
+	}
+	if validate != "" {
+		f, err := bench.Load(validate) // Load validates
+		if err != nil {
+			return err
+		}
+		fmt.Printf("%s: valid %s file, %d benchmarks, recorded %s\n",
+			validate, f.Schema, len(f.Results), f.Timestamp)
+		return nil
+	}
+	tol, err := bench.ParseTolerance(tolerance)
+	if err != nil {
+		return err
+	}
+
+	var cur *bench.File
+	if input != "" {
+		if baseline == "" {
+			return fmt.Errorf("-input requires -baseline")
+		}
+		if cur, err = bench.Load(input); err != nil {
+			return err
+		}
+	} else {
+		if cur, err = runSuite(benchtime, runPat, short, noProfile); err != nil {
+			return err
+		}
+		if err := cur.Validate(); err != nil {
+			return fmt.Errorf("produced an invalid BENCH file (bug): %w", err)
+		}
+		path := out
+		if path == "" {
+			path = "BENCH_" + time.Now().UTC().Format("20060102T150405Z") + ".json"
+		}
+		if path != "-" {
+			if err := cur.Write(path); err != nil {
+				return err
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d benchmarks)\n", path, len(cur.Results))
+		}
+	}
+
+	if baseline == "" {
+		return nil
+	}
+	base, err := bench.Load(baseline)
+	if err != nil {
+		return err
+	}
+	cmp := bench.Compare(base, cur, tol)
+	fmt.Print(cmp.MarkdownTable())
+	if regs := cmp.Regressions(); check && len(regs) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %s: %v", len(regs), tolerance, regs)
+	}
+	if check {
+		fmt.Fprintln(os.Stderr, "regression gate: ok")
+	}
+	return nil
+}
+
+// runSuite executes the declared benchmarks in suite order and assembles the
+// BENCH file, echoing a human-readable line per benchmark to stderr.
+func runSuite(benchtime, runPat string, short, noProfile bool) (*bench.File, error) {
+	if err := flag.Set("test.benchtime", benchtime); err != nil {
+		return nil, fmt.Errorf("benchtime %q: %w", benchtime, err)
+	}
+	var sel *regexp.Regexp
+	if runPat != "" {
+		var err error
+		if sel, err = regexp.Compile(runPat); err != nil {
+			return nil, fmt.Errorf("-run %q: %w", runPat, err)
+		}
+	}
+	f := bench.NewFile(benchtime, short)
+	for _, bm := range bench.Suite() {
+		if short && bm.Heavy {
+			continue
+		}
+		if sel != nil && !sel.MatchString(bm.Name) {
+			continue
+		}
+		r := testing.Benchmark(bm.F)
+		if r.N == 0 {
+			return nil, fmt.Errorf("%s: benchmark did not run (failed inside testing.Benchmark)", bm.Name)
+		}
+		res := bench.Result{
+			Name:        bm.Name,
+			N:           r.N,
+			NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+			AllocsPerOp: r.AllocsPerOp(),
+		}
+		if len(r.Extra) > 0 {
+			res.Extra = r.Extra
+		}
+		f.Results = append(f.Results, res)
+		fmt.Fprintf(os.Stderr, "%-24s %12d ns/op %10d B/op %8d allocs/op  (n=%d)\n",
+			bm.Name, int64(res.NsPerOp), res.BytesPerOp, res.AllocsPerOp, r.N)
+	}
+	if len(f.Results) == 0 {
+		return nil, fmt.Errorf("no suite entries matched")
+	}
+	if !noProfile {
+		rep, err := profiledScenario(short)
+		if err != nil {
+			return nil, err
+		}
+		f.Profile = rep
+		fmt.Print("\n" + rep.MarkdownTable())
+	}
+	return f, nil
+}
+
+// profiledScenario runs the reference full-stack scenario (the same
+// DDDU/0.5ms/USB2 configuration the throughput benchmark uses) under the
+// engine self-profiler and returns its report — the per-event-type wall
+// breakdown embedded in every BENCH file.
+func profiledScenario(short bool) (*prof.Report, error) {
+	packets := 400
+	if short {
+		packets = 60
+	}
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDDDU, SlotScale: urllcsim.Slot0p5ms,
+		Radio: urllcsim.RadioUSB2, Seed: 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	p := prof.Attach(sc.Engine())
+	for i := 0; i < packets; i++ {
+		at := time.Duration(i) * 2 * time.Millisecond
+		sc.SendUplink(at+137*time.Microsecond, 32)
+		sc.SendDownlink(at+731*time.Microsecond, 32)
+	}
+	if rs := sc.Run(time.Duration(packets+50) * 2 * time.Millisecond); len(rs) != 2*packets {
+		return nil, fmt.Errorf("profiled scenario resolved %d/%d packets", len(rs), 2*packets)
+	}
+	return p.Finish(), nil
+}

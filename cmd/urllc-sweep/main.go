@@ -28,6 +28,7 @@ import (
 	"urllcsim"
 	"urllcsim/internal/obs"
 	"urllcsim/internal/obs/analyze"
+	"urllcsim/internal/obs/prof"
 	"urllcsim/internal/sim"
 	"urllcsim/internal/sweep"
 )
@@ -45,6 +46,7 @@ type point struct {
 type replicaOut struct {
 	trace *analyze.Trace
 	reg   *obs.Registry
+	perf  *prof.Report // engine self-profile; nil unless -perf
 }
 
 var slotNames = map[string]urllcsim.SlotScale{
@@ -68,18 +70,19 @@ func main() {
 	seed := flag.Uint64("seed", 1, "base seed; replica seeds derive from it per shard")
 	deadline := flag.Duration("deadline", 500*time.Microsecond, "one-way latency budget to audit against")
 	summary := flag.Bool("summary", false, "append the merged metrics-registry summary of each grid point")
+	perf := flag.Bool("perf", false, "self-profile every shard's engine and append a sweep-performance section (wall time per shard, events/sec); wall-clock numbers vary run to run, so this section is excluded from the worker-count-invariance contract")
 	out := flag.String("out", "", "write the report here instead of stdout")
 	flag.Parse()
 
 	if err := run(*patterns, *slots, *grantfree, *radios, *replicas, *packets,
-		*parallel, *seed, *deadline, *summary, *out); err != nil {
+		*parallel, *seed, *deadline, *summary, *perf, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "urllc-sweep:", err)
 		os.Exit(1)
 	}
 }
 
 func run(patterns, slots, grantfree, radios string, replicas, packets, parallel int,
-	seed uint64, deadline time.Duration, summary bool, out string) error {
+	seed uint64, deadline time.Duration, summary, perf bool, out string) error {
 	grid, err := buildGrid(patterns, slots, grantfree, radios)
 	if err != nil {
 		return err
@@ -93,7 +96,7 @@ func run(patterns, slots, grantfree, radios string, replicas, packets, parallel 
 	// seed is derived from the job's global shard index: independent of the
 	// worker layout by construction.
 	runs, err := sweep.Run(parallel, len(grid)*replicas, func(i int) (replicaOut, error) {
-		return runReplica(grid[i/replicas], sweep.Seed(seed, i), packets, deadline)
+		return runReplica(grid[i/replicas], sweep.Seed(seed, i), packets, deadline, perf)
 	})
 	if err != nil {
 		return err
@@ -127,14 +130,66 @@ func run(patterns, slots, grantfree, radios string, replicas, packets, parallel 
 	if err := analyze.WriteMarkdown(w, audits); err != nil {
 		return err
 	}
-	_, err = io.WriteString(w, summaries.String())
-	return err
+	if _, err := io.WriteString(w, summaries.String()); err != nil {
+		return err
+	}
+	if perf {
+		_, err = io.WriteString(w, perfSection(grid, runs, replicas))
+		return err
+	}
+	return nil
+}
+
+// perfSection renders the -perf report: per-shard engine self-profiles and
+// per-point aggregates, turning parallel-scaling claims into measured
+// events/sec rather than anecdote. Wall-clock numbers here are real
+// measurements of this machine on this run — the one report section that is
+// deliberately NOT covered by the worker-count-invariance contract.
+func perfSection(grid []point, runs []replicaOut, replicas int) string {
+	var sb strings.Builder
+	sb.WriteString("\n## Sweep performance (-perf)\n\n")
+	sb.WriteString("| point | shard | events | wall ms | events/s | sim/wall |\n")
+	sb.WriteString("|---|---:|---:|---:|---:|---:|\n")
+	var totEvents uint64
+	var totWall int64
+	var maxWall int64
+	for p, pt := range grid {
+		var ptEvents uint64
+		var ptWall int64
+		for i, r := range runs[p*replicas : (p+1)*replicas] {
+			if r.perf == nil {
+				continue
+			}
+			fmt.Fprintf(&sb, "| %s | %d | %d | %.3f | %.0f | %.1f× |\n",
+				pt.label, i, r.perf.Events, float64(r.perf.WallNs)/1e6,
+				r.perf.EventsPerSec, r.perf.SimWallRatio)
+			ptEvents += r.perf.Events
+			ptWall += r.perf.WallNs
+			if r.perf.WallNs > maxWall {
+				maxWall = r.perf.WallNs
+			}
+		}
+		if ptWall > 0 {
+			fmt.Fprintf(&sb, "| %s | **all** | %d | %.3f | %.0f | |\n",
+				pt.label, ptEvents, float64(ptWall)/1e6,
+				float64(ptEvents)/(float64(ptWall)/1e9))
+		}
+		totEvents += ptEvents
+		totWall += ptWall
+	}
+	if totWall > 0 {
+		fmt.Fprintf(&sb, "\n- total: %d engine events in %.3f ms of summed shard wall time (%.0f events/sec sequential-equivalent)\n",
+			totEvents, float64(totWall)/1e6, float64(totEvents)/(float64(totWall)/1e9))
+		fmt.Fprintf(&sb, "- slowest shard: %.3f ms — the parallel critical path; summed/slowest = %.1f× ideal-speedup ceiling\n",
+			float64(maxWall)/1e6, float64(totWall)/float64(maxWall))
+	}
+	return sb.String()
 }
 
 // runReplica simulates one replica: its own scenario (engine, RNG, recorder),
 // packets offered uniformly in each direction, and returns the trace and
 // registry for the shard-ordered merge.
-func runReplica(pt point, seed uint64, packets int, deadline time.Duration) (replicaOut, error) {
+func runReplica(pt point, seed uint64, packets int, deadline time.Duration, perf bool) (replicaOut, error) {
 	rec := obs.NewRecorder()
 	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
 		Pattern:   pt.pattern,
@@ -148,6 +203,12 @@ func runReplica(pt point, seed uint64, packets int, deadline time.Duration) (rep
 	if err != nil {
 		return replicaOut{}, fmt.Errorf("%s: %w", pt.label, err)
 	}
+	// The self-profiler wraps the recorder's sink and observes only, so the
+	// merged audit stays bit-identical whether -perf is on or not.
+	var profiler *prof.Profiler
+	if perf {
+		profiler = prof.Attach(sc.Engine())
+	}
 	// One packet per direction every 2 ms — comfortably above every
 	// pattern's period, so replicas measure latency, not queueing.
 	const spacing = 2 * time.Millisecond
@@ -158,7 +219,11 @@ func runReplica(pt point, seed uint64, packets int, deadline time.Duration) (rep
 		sc.SendDownlink(at, 32)
 	}
 	sc.Run(time.Duration(packets+60) * spacing)
-	return replicaOut{trace: analyze.FromRecorder(rec), reg: rec.Metrics()}, nil
+	out := replicaOut{trace: analyze.FromRecorder(rec), reg: rec.Metrics()}
+	if profiler != nil {
+		out.perf = profiler.Finish()
+	}
+	return out, nil
 }
 
 // buildGrid crosses the axis lists into labelled grid points.

@@ -16,6 +16,7 @@ import (
 
 	"urllcsim"
 	"urllcsim/internal/obs"
+	"urllcsim/internal/obs/prof"
 )
 
 func main() {
@@ -36,6 +37,7 @@ func main() {
 	snapshotsOut := flag.String("snapshots-out", "", "write per-slot counter/gauge snapshots as CSV to this file")
 	jsonlOut := flag.String("jsonl-out", "", "write the span/outcome/event trace as JSONL to this file (input for urllc-report)")
 	serve := flag.String("serve", "", "serve live telemetry on this address (e.g. :9090): /metrics Prometheus text, /debug/vars expvar, /debug/pprof; keeps serving after the run until interrupted")
+	profOut := flag.String("prof-out", "", "self-profile the engine and write the JSONL 'profile' record here; the top-event-types table goes to stderr (stdout stays byte-identical)")
 	flag.Parse()
 
 	scales := map[string]urllcsim.SlotScale{
@@ -94,6 +96,14 @@ func main() {
 		os.Exit(1)
 	}
 
+	// The self-profiler attaches after the recorder so it wraps (and keeps
+	// feeding) the recorder's engine sink. It observes only: the scenario
+	// output is byte-identical with and without it.
+	var profiler *prof.Profiler
+	if *profOut != "" {
+		profiler = prof.Attach(sc.Engine())
+	}
+
 	period := 2 * time.Millisecond
 	for i := 0; i < *packets; i++ {
 		at := time.Duration(i) * period
@@ -105,6 +115,18 @@ func main() {
 		}
 	}
 	results := sc.Run(time.Duration(*packets+50) * period)
+
+	if profiler != nil {
+		rep := profiler.Finish()
+		// Publish before the exports below so -metrics-out and -serve carry
+		// the profiler's registry view alongside the simulation's.
+		rep.Publish(rec)
+		if err := obs.WriteFile(*profOut, rep.WriteJSONL); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, rep.MarkdownTable())
+	}
 
 	exports := []struct {
 		path  string

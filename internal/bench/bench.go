@@ -1,0 +1,279 @@
+// Package bench declares the simulator's continuous-benchmark suite and the
+// machine-readable BENCH file format that cmd/urllc-bench persists, compares
+// and gates on. The suite covers the three speed-critical surfaces of the
+// repository: full-stack scenario throughput (the event loop end to end),
+// sweep scaling across worker counts (the parallel engine of
+// internal/sweep), and the analytic engines — plus targeted micro-benchmarks
+// for sim.Engine scheduling and the obs record hot paths, so a regression in
+// any layer shows up attributed to that layer rather than smeared across a
+// whole scenario run.
+package bench
+
+import (
+	"testing"
+	"time"
+
+	"urllcsim"
+	"urllcsim/internal/core"
+	"urllcsim/internal/nr"
+	"urllcsim/internal/obs"
+	"urllcsim/internal/sim"
+	"urllcsim/internal/sweep"
+)
+
+// Benchmark is one declared suite entry. F follows the standard testing
+// contract so entries run identically under cmd/urllc-bench
+// (testing.Benchmark) and `go test -bench`.
+type Benchmark struct {
+	Name  string
+	Desc  string
+	Heavy bool // skipped in smoke/short runs
+	F     func(b *testing.B)
+}
+
+// Suite returns the declared benchmarks in a fixed order — the order is part
+// of the BENCH file contract, so trajectories diff cleanly across commits.
+func Suite() []Benchmark {
+	return []Benchmark{
+		{
+			Name: "ScenarioThroughput",
+			Desc: "full-stack DL packets through the DDDU/0.5ms/USB2 scenario",
+			F:    scenarioThroughput,
+		},
+		{
+			Name: "ScenarioThroughputGF",
+			Desc: "full-stack grant-free UL packets (the paper's fastest access mode)",
+			F:    scenarioThroughputGF,
+		},
+		{
+			Name: "WorstCaseEngine",
+			Desc: "analytic worst-case walk (grant-based UL)",
+			F:    worstCaseEngine,
+		},
+		{
+			Name:  "Table1",
+			Desc:  "full feasibility matrix (Table 1) per op",
+			Heavy: true,
+			F:     table1,
+		},
+		{
+			Name:  "SweepScaling/p1",
+			Desc:  "4-replica scenario sweep on 1 worker",
+			Heavy: true,
+			F:     sweepScaling(1),
+		},
+		{
+			Name:  "SweepScaling/p2",
+			Desc:  "4-replica scenario sweep on 2 workers",
+			Heavy: true,
+			F:     sweepScaling(2),
+		},
+		{
+			Name:  "SweepScaling/p4",
+			Desc:  "4-replica scenario sweep on 4 workers",
+			Heavy: true,
+			F:     sweepScaling(4),
+		},
+		{
+			Name: "EngineSchedule",
+			Desc: "sim.Engine schedule+fire of 4096 leaf events",
+			F:    engineSchedule,
+		},
+		{
+			Name: "EngineScheduleCancel",
+			Desc: "sim.Engine with half the queue cancelled (dead-pop path)",
+			F:    engineScheduleCancel,
+		},
+		{
+			Name: "ObsRecord",
+			Desc: "obs.Recorder count/observe/span hot path, enabled",
+			F:    obsRecord,
+		},
+		{
+			Name: "ObsDisabled",
+			Desc: "obs.Recorder hot path with a nil recorder (must stay ~free)",
+			F:    obsDisabled,
+		},
+	}
+}
+
+// Find returns the named suite entry.
+func Find(name string) (Benchmark, bool) {
+	for _, bm := range Suite() {
+		if bm.Name == name {
+			return bm, true
+		}
+	}
+	return Benchmark{}, false
+}
+
+func scenarioThroughput(b *testing.B) {
+	b.ReportAllocs()
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDDDU, SlotScale: urllcsim.Slot0p5ms,
+		Radio: urllcsim.RadioUSB2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.SendDownlink(time.Duration(i)*2*time.Millisecond, 32)
+	}
+	rs := sc.Run(time.Duration(b.N+50) * 2 * time.Millisecond)
+	if len(rs) != b.N {
+		b.Fatalf("resolved %d/%d", len(rs), b.N)
+	}
+	b.ReportMetric(float64(sc.Engine().Steps())/b.Elapsed().Seconds(), "events/sec")
+}
+
+func scenarioThroughputGF(b *testing.B) {
+	b.ReportAllocs()
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDM, SlotScale: urllcsim.Slot0p5ms,
+		GrantFree: true, Radio: urllcsim.RadioUSB2, Seed: 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.SendUplink(time.Duration(i)*2*time.Millisecond+137*time.Microsecond, 32)
+	}
+	rs := sc.Run(time.Duration(b.N+50) * 2 * time.Millisecond)
+	if len(rs) != b.N {
+		b.Fatalf("resolved %d/%d", len(rs), b.N)
+	}
+	b.ReportMetric(float64(sc.Engine().Steps())/b.Elapsed().Seconds(), "events/sec")
+}
+
+func worstCaseEngine(b *testing.B) {
+	b.ReportAllocs()
+	cfg := core.ConfigDM(nr.Mu2, core.DefaultAssumptions())
+	for i := 0; i < b.N; i++ {
+		if _, err := cfg.WorstCase(core.GrantBasedUL); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "walks/sec")
+}
+
+func table1(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Table1(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// sweepScaling runs a fixed 4-replica scenario grid through the sweep worker
+// pool at the given width; comparing p1/p2/p4 ns/op across commits is the
+// parallel-scaling trajectory PR 4 claimed but never measured.
+func sweepScaling(workers int) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		var events uint64
+		for i := 0; i < b.N; i++ {
+			outs, err := sweep.Run(workers, 4, func(shard int) (uint64, error) {
+				sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+					Pattern: urllcsim.PatternDDDU, SlotScale: urllcsim.Slot0p5ms,
+					Radio: urllcsim.RadioUSB2,
+					Seed:  sweep.Seed(uint64(i+1), shard),
+				})
+				if err != nil {
+					return 0, err
+				}
+				for p := 0; p < 20; p++ {
+					at := time.Duration(p) * 2 * time.Millisecond
+					sc.SendUplink(at+137*time.Microsecond, 32)
+					sc.SendDownlink(at+731*time.Microsecond, 32)
+				}
+				sc.Run(time.Duration(20+50) * 2 * time.Millisecond)
+				return sc.Engine().Steps(), nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, n := range outs {
+				events += n
+			}
+		}
+		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	}
+}
+
+// engineSchedule isolates the DES core: push 4096 leaf events and drain
+// them. ns/op here is pure heap + dispatch cost, no model code.
+func engineSchedule(b *testing.B) {
+	b.ReportAllocs()
+	const n = 4096
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		for j := 0; j < n; j++ {
+			eng.Schedule(sim.Time((j*2654435761)%100000), "e", func() {})
+		}
+		if eng.RunAll(); eng.Steps() != n {
+			b.Fatalf("fired %d/%d", eng.Steps(), n)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "events/sec")
+}
+
+// engineScheduleCancel cancels every other queued event before draining —
+// the dead-pop skip path plus live-count bookkeeping.
+func engineScheduleCancel(b *testing.B) {
+	b.ReportAllocs()
+	const n = 4096
+	for i := 0; i < b.N; i++ {
+		eng := sim.NewEngine()
+		evs := make([]*sim.Event, 0, n)
+		for j := 0; j < n; j++ {
+			evs = append(evs, eng.Schedule(sim.Time((j*2654435761)%100000), "e", func() {}))
+		}
+		for j := 0; j < n; j += 2 {
+			evs[j].Cancel()
+		}
+		if eng.Pending() != n/2 {
+			b.Fatalf("Pending = %d, want %d", eng.Pending(), n/2)
+		}
+		if eng.RunAll(); eng.Steps() != n/2 {
+			b.Fatalf("fired %d/%d", eng.Steps(), n/2)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n/2/b.Elapsed().Seconds(), "events/sec")
+}
+
+// obsRecord measures the enabled recorder hot path: the three calls model
+// code makes most (counter bump, latency observation, span append).
+func obsRecord(b *testing.B) {
+	b.ReportAllocs()
+	const n = 1024
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder()
+		for j := 0; j < n; j++ {
+			rec.Count("bench.counter", 1)
+			rec.Observe("bench.timing", sim.Duration(j)*sim.Microsecond)
+			rec.PacketSpan(j, obs.DirUL, obs.LayerMAC, "bench", core.Processing,
+				sim.Time(j*1000), sim.Microsecond)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n*3/b.Elapsed().Seconds(), "records/sec")
+}
+
+// obsDisabled measures the same call sequence against a nil recorder: the
+// disabled path the ≤2 % tracing-overhead gate protects.
+func obsDisabled(b *testing.B) {
+	b.ReportAllocs()
+	const n = 1024
+	var rec *obs.Recorder
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			rec.Count("bench.counter", 1)
+			rec.Observe("bench.timing", sim.Duration(j)*sim.Microsecond)
+			rec.PacketSpan(j, obs.DirUL, obs.LayerMAC, "bench", core.Processing,
+				sim.Time(j*1000), sim.Microsecond)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n*3/b.Elapsed().Seconds(), "records/sec")
+}

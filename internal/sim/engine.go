@@ -16,11 +16,22 @@ type Event struct {
 	seq   uint64
 	index int // heap index; -1 when not queued
 	dead  bool
+	eng   *Engine // owning engine, for live-event bookkeeping on Cancel
 }
 
 // Cancel prevents a pending event from firing. Cancelling an event that has
 // already fired (or was never scheduled) is a no-op.
-func (e *Event) Cancel() { e.dead = true }
+func (e *Event) Cancel() {
+	if e.dead {
+		return
+	}
+	e.dead = true
+	// A cancelled event stays in the heap until its turn comes up; track it
+	// so Pending can report live events without scanning the queue.
+	if e.eng != nil && e.index >= 0 {
+		e.eng.deadQueued++
+	}
+}
 
 // Cancelled reports whether the event was cancelled before firing.
 func (e *Event) Cancelled() bool { return e.dead }
@@ -66,11 +77,13 @@ type EngineSink interface {
 // use: a simulation is a single logical thread of control, and all model code
 // runs inside event callbacks.
 type Engine struct {
-	now     Time
-	queue   eventQueue
-	seq     uint64
-	steps   uint64
-	stopped bool
+	now        Time
+	queue      eventQueue
+	seq        uint64
+	steps      uint64
+	scheduled  uint64
+	deadQueued int
+	stopped    bool
 
 	// Tracer, when non-nil, is invoked for every fired event. It is the
 	// legacy hook, kept for compatibility; it rides the same dispatch as
@@ -103,8 +116,20 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events fired so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
-// Pending returns the number of queued (possibly cancelled) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Scheduled returns the number of events ever pushed onto the queue. The
+// difference Scheduled() − QueueLen() is the number of heap pops so far
+// (fired events plus discarded cancelled ones).
+func (e *Engine) Scheduled() uint64 { return e.scheduled }
+
+// Pending returns the number of live queued events — cancelled events still
+// sitting in the heap are excluded, so queue-depth gauges built on Pending
+// never overcount.
+func (e *Engine) Pending() int { return len(e.queue) - e.deadQueued }
+
+// QueueLen returns the raw heap length, counting cancelled-but-still-queued
+// events. This is the number the engine actually pays for in heap operations,
+// which is why the profiler's heap stats use it rather than Pending.
+func (e *Engine) QueueLen() int { return len(e.queue) }
 
 // Schedule queues fn to run at absolute time when. Scheduling in the past is
 // a programming error and panics: silently reordering time would corrupt
@@ -113,8 +138,9 @@ func (e *Engine) Schedule(when Time, name string, fn func()) *Event {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, when, e.now))
 	}
-	ev := &Event{When: when, Name: name, Fn: fn, seq: e.seq, index: -1}
+	ev := &Event{When: when, Name: name, Fn: fn, seq: e.seq, index: -1, eng: e}
 	e.seq++
+	e.scheduled++
 	heap.Push(&e.queue, ev)
 	return ev
 }
@@ -145,6 +171,7 @@ func (e *Engine) Run(horizon Time) Time {
 		}
 		heap.Pop(&e.queue)
 		if next.dead {
+			e.deadQueued--
 			continue
 		}
 		e.now = next.When
@@ -166,6 +193,7 @@ func (e *Engine) Step() bool {
 	for len(e.queue) > 0 {
 		next := heap.Pop(&e.queue).(*Event)
 		if next.dead {
+			e.deadQueued--
 			continue
 		}
 		e.now = next.When

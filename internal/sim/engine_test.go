@@ -152,6 +152,59 @@ func TestEngineStepAndPending(t *testing.T) {
 	}
 }
 
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := NewEngine()
+	a := e.After(Microsecond, "a", func() {})
+	e.After(2*Microsecond, "b", func() {})
+	c := e.After(3*Microsecond, "c", func() {})
+	if e.Pending() != 3 || e.QueueLen() != 3 {
+		t.Fatalf("Pending/QueueLen = %d/%d, want 3/3", e.Pending(), e.QueueLen())
+	}
+	a.Cancel()
+	c.Cancel()
+	c.Cancel() // double-cancel must not double-count
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after 2 cancels, want 1", e.Pending())
+	}
+	if e.QueueLen() != 3 {
+		t.Fatalf("QueueLen = %d after cancels, want 3 (dead events stay queued)", e.QueueLen())
+	}
+	e.RunAll()
+	if e.Pending() != 0 || e.QueueLen() != 0 {
+		t.Fatalf("Pending/QueueLen = %d/%d after RunAll, want 0/0", e.Pending(), e.QueueLen())
+	}
+	if e.Steps() != 1 {
+		t.Fatalf("Steps = %d, want 1 (only the live event fires)", e.Steps())
+	}
+}
+
+func TestCancelAfterFireDoesNotCorruptPending(t *testing.T) {
+	e := NewEngine()
+	ev := e.After(Microsecond, "a", func() {})
+	e.After(2*Microsecond, "b", func() {})
+	if !e.Step() {
+		t.Fatal("Step fired nothing")
+	}
+	ev.Cancel() // already fired: must be a no-op for the pending count
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d after cancelling a fired event, want 1", e.Pending())
+	}
+}
+
+func TestScheduledCountsPushes(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 5; i++ {
+		e.Schedule(Time(i), "n", func() {})
+	}
+	if e.Scheduled() != 5 {
+		t.Fatalf("Scheduled = %d, want 5", e.Scheduled())
+	}
+	e.RunAll()
+	if e.Scheduled() != 5 || e.QueueLen() != 0 {
+		t.Fatalf("Scheduled/QueueLen = %d/%d after run, want 5/0", e.Scheduled(), e.QueueLen())
+	}
+}
+
 func TestTimeArithmetic(t *testing.T) {
 	a := Time(1500)
 	b := a.Add(2 * Microsecond)

@@ -266,6 +266,12 @@ func buildGrids(p Pattern, mu nr.Numerology) (grid, ulGrid *nr.Grid, err error) 
 	}
 }
 
+// Engine exposes the scenario's discrete-event engine, for self-profiling
+// (internal/obs/prof attaches to it) and engine-level throughput metrics
+// (Steps, Scheduled, Pending). The returned engine is the live simulation
+// core: callers may observe it but must not schedule or run it directly.
+func (s *Scenario) Engine() *sim.Engine { return s.sys.Eng }
+
 // SendUplink offers one UL packet of the given size at the given virtual
 // time. Returns the packet id.
 func (s *Scenario) SendUplink(at time.Duration, bytes int) int {
