@@ -8,11 +8,12 @@ GO ?= go
 BENCH_TOL  ?= 10%
 SMOKE_TOL  ?= 500%
 
-.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke
+.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke flight-smoke
 
 ## check: full verification gate — lint (vet + gofmt), build, race-enabled tests,
-## the parallel-vs-sequential sweep invariance smoke, and the benchmark-harness smoke
-check: lint build race sweep-smoke bench-smoke
+## the parallel-vs-sequential sweep invariance smoke, the flight-recorder
+## no-interference smoke, and the benchmark-harness smoke
+check: lint build race sweep-smoke flight-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -72,6 +73,31 @@ report-smoke:
 	grep -q '^run,UL,' $$tmp/feas.csv && \
 	grep -q ',source,,,radio,' $$tmp/steps.csv && \
 	echo "report-smoke OK ($$tmp)" && rm -rf $$tmp
+
+## flight-smoke: the tail-forensics contract, end to end — attaching the
+## flight recorder + watchdog must leave default stdout byte-identical, the
+## flight file must render as a forensic narrative in urllc-report, and the
+## sweep's merged exemplars must be byte-identical across worker counts
+flight-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/urllcsim ./cmd/urllcsim && \
+	$(GO) build -o $$tmp/urllc-sweep ./cmd/urllc-sweep && \
+	$(GO) build -o $$tmp/urllc-report ./cmd/urllc-report && \
+	$$tmp/urllcsim -packets 40 > $$tmp/plain.out && \
+	$$tmp/urllcsim -packets 40 -flight-out $$tmp/flight.jsonl \
+		-watchdog-missrate 0.01 -watchdog-window 32 > $$tmp/tapped.out 2>/dev/null && \
+	cmp $$tmp/plain.out $$tmp/tapped.out && \
+	$$tmp/urllc-report $$tmp/flight.jsonl > $$tmp/report.md && \
+	grep -q 'Tail forensics' $$tmp/report.md && \
+	grep -q 'budget blown in' $$tmp/report.md && \
+	$$tmp/urllc-sweep -pattern DDDU -replicas 4 -packets 15 -summary \
+		-parallel 1 -out $$tmp/s1.md -flight-out $$tmp/f1.jsonl && \
+	$$tmp/urllc-sweep -pattern DDDU -replicas 4 -packets 15 -summary \
+		-parallel 4 -out $$tmp/s4.md -flight-out $$tmp/f4.jsonl && \
+	cmp $$tmp/f1.jsonl $$tmp/f4.jsonl && \
+	if $$tmp/urllc-report /dev/null >/dev/null 2>&1; then \
+		echo "flight-smoke FAIL: empty input did not error"; exit 1; fi && \
+	echo "flight-smoke OK: stdout untouched, narrative rendered, merge worker-invariant ($$tmp)" && rm -rf $$tmp
 
 ## sweep-smoke: a small parallel config grid must reproduce the sequential
 ## golden byte-for-byte — the worker-count-invariance contract, end to end

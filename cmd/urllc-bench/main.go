@@ -29,6 +29,7 @@ import (
 	"urllcsim"
 	"urllcsim/internal/bench"
 	"urllcsim/internal/obs/prof"
+	"urllcsim/internal/version"
 )
 
 func main() {
@@ -44,7 +45,14 @@ func main() {
 	noProfile := flag.Bool("no-profile", false, "skip the profiled reference scenario run")
 	validate := flag.String("validate", "", "validate this BENCH JSON against the schema and exit")
 	list := flag.Bool("list", false, "list the declared suite and exit")
+	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
+
+	if *showVersion {
+		version.Print(os.Stdout, "urllc-bench",
+			[]string{bench.Schema}, []string{bench.Schema})
+		return
+	}
 
 	if err := mainErr(*out, *baseline, *input, *tolerance, *benchtime, *run,
 		*validate, *check, *short, *noProfile, *list); err != nil {

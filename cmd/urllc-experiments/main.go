@@ -20,6 +20,7 @@ import (
 	"os"
 
 	"urllcsim/internal/experiments"
+	"urllcsim/internal/version"
 )
 
 func main() {
@@ -27,7 +28,13 @@ func main() {
 	list := flag.Bool("list", false, "list experiment ids and exit")
 	seed := flag.Uint64("seed", 1, "simulation seed")
 	parallel := flag.Int("parallel", 0, "worker-pool width for sharded experiments (0 = GOMAXPROCS)")
+	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
+
+	if *showVersion {
+		version.Print(os.Stdout, "urllc-experiments", nil, nil)
+		return
+	}
 
 	if *list {
 		for _, e := range experiments.All {

@@ -2,18 +2,24 @@
 // one-way latency budget and renders the paper's tables: a Fig. 4-style
 // feasibility table (tail percentiles down to p99.999, worst case,
 // reliability), the per-source budget split and the Fig. 3 temporal
-// breakdown.
+// breakdown. Files carrying tail-forensics `flight` records (urllcsim
+// -flight-out, urllc-sweep -flight-out) additionally render a per-miss
+// forensic narrative section with each promoted packet's causal chain.
 //
 //	urllcsim -jsonl-out run.jsonl
 //	urllc-report run.jsonl                      # Markdown to stdout
 //	urllc-report -deadline 1ms a.jsonl b.jsonl  # audit several traces
 //	urllc-report -csv feas.csv -breakdown-csv steps.csv run.jsonl
+//	urllcsim -flight-out tail.jsonl && urllc-report tail.jsonl
 //
 // The JSONL round trip is lossless to the nanosecond, so offline audits
-// match in-process ones exactly.
+// match in-process ones exactly. Inputs are validated: an empty file, a
+// truncated record or an unknown schema version is a one-line error and a
+// non-zero exit, never a zero-filled report.
 package main
 
 import (
+	"bytes"
 	"flag"
 	"fmt"
 	"io"
@@ -24,7 +30,9 @@ import (
 
 	"urllcsim/internal/obs"
 	"urllcsim/internal/obs/analyze"
+	"urllcsim/internal/obs/flight"
 	"urllcsim/internal/sim"
+	"urllcsim/internal/version"
 )
 
 func main() {
@@ -32,7 +40,14 @@ func main() {
 	mdOut := flag.String("md", "", "write the Markdown report to this file instead of stdout")
 	feasOut := flag.String("csv", "", "write the Fig. 4-style feasibility table as CSV to this file")
 	breakdownOut := flag.String("breakdown-csv", "", "write the Fig. 3 temporal breakdown as CSV to this file")
+	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
+
+	if *showVersion {
+		version.Print(os.Stdout, "urllc-report", nil,
+			[]string{obs.TraceSchema, flight.Schema, flight.AnomalySchema})
+		return
+	}
 
 	if flag.NArg() == 0 {
 		fmt.Fprintln(os.Stderr, "usage: urllc-report [flags] trace.jsonl [trace.jsonl ...]")
@@ -41,29 +56,62 @@ func main() {
 	}
 
 	var audits []*analyze.Audit
+	var forensics []*flight.File
 	for _, path := range flag.Args() {
-		f, err := os.Open(path)
+		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		tr, err := analyze.ReadJSONL(f)
-		f.Close()
+		// One file may carry trace records, flight records, or both; each
+		// reader skips the other family's kinds.
+		tr, err := analyze.ReadJSONL(bytes.NewReader(data))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			os.Exit(1)
 		}
+		fl, err := flight.ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		hasTrace := len(tr.Spans)+len(tr.Outcomes)+len(tr.Events) > 0
+		if !hasTrace && !fl.HasMeta {
+			fmt.Fprintf(os.Stderr, "%s: no trace or flight records (empty or non-JSONL input)\n", path)
+			os.Exit(1)
+		}
 		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
-		audits = append(audits, analyze.Run(tr, label, sim.Duration(*deadline)))
+		if hasTrace {
+			audits = append(audits, analyze.Run(tr, label, sim.Duration(*deadline)))
+		}
+		if fl.HasMeta {
+			if fl.Label == "" {
+				fl.Label = label
+			}
+			forensics = append(forensics, fl)
+		}
 	}
 
+	writeReport := func(w io.Writer) error {
+		if len(audits) > 0 {
+			if err := analyze.WriteMarkdown(w, audits); err != nil {
+				return err
+			}
+		}
+		for _, fl := range forensics {
+			if err := flight.WriteMarkdown(w, fl); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
 	if *mdOut != "" {
-		if err := obs.WriteFile(*mdOut, func(w io.Writer) error { return analyze.WriteMarkdown(w, audits) }); err != nil {
+		if err := obs.WriteFile(*mdOut, writeReport); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
 	} else {
-		if err := analyze.WriteMarkdown(os.Stdout, audits); err != nil {
+		if err := writeReport(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

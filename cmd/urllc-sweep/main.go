@@ -28,9 +28,11 @@ import (
 	"urllcsim"
 	"urllcsim/internal/obs"
 	"urllcsim/internal/obs/analyze"
+	"urllcsim/internal/obs/flight"
 	"urllcsim/internal/obs/prof"
 	"urllcsim/internal/sim"
 	"urllcsim/internal/sweep"
+	"urllcsim/internal/version"
 )
 
 // point is one grid configuration.
@@ -44,9 +46,10 @@ type point struct {
 
 // replicaOut is what one replica returns into the merge.
 type replicaOut struct {
-	trace *analyze.Trace
-	reg   *obs.Registry
-	perf  *prof.Report // engine self-profile; nil unless -perf
+	trace  *analyze.Trace
+	reg    *obs.Registry
+	perf   *prof.Report // engine self-profile; nil unless -perf
+	flight *flight.Set  // promoted tail exemplars; nil unless -flight-out
 }
 
 var slotNames = map[string]urllcsim.SlotScale{
@@ -72,17 +75,25 @@ func main() {
 	summary := flag.Bool("summary", false, "append the merged metrics-registry summary of each grid point")
 	perf := flag.Bool("perf", false, "self-profile every shard's engine and append a sweep-performance section (wall time per shard, events/sec); wall-clock numbers vary run to run, so this section is excluded from the worker-count-invariance contract")
 	out := flag.String("out", "", "write the report here instead of stdout")
+	flightOut := flag.String("flight-out", "", "write the merged tail-forensics flight records (JSONL) of every grid point to this file; the merge is bit-identical for any -parallel value")
+	flightTopK := flag.Int("flight-topk", flight.DefaultTopK, "per-direction worst-latency exemplars kept per grid point after the merge")
+	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
 
+	if *showVersion {
+		version.Print(os.Stdout, "urllc-sweep", []string{flight.Schema}, nil)
+		return
+	}
+
 	if err := run(*patterns, *slots, *grantfree, *radios, *replicas, *packets,
-		*parallel, *seed, *deadline, *summary, *perf, *out); err != nil {
+		*parallel, *seed, *deadline, *summary, *perf, *out, *flightOut, *flightTopK); err != nil {
 		fmt.Fprintln(os.Stderr, "urllc-sweep:", err)
 		os.Exit(1)
 	}
 }
 
 func run(patterns, slots, grantfree, radios string, replicas, packets, parallel int,
-	seed uint64, deadline time.Duration, summary, perf bool, out string) error {
+	seed uint64, deadline time.Duration, summary, perf bool, out, flightOut string, flightTopK int) error {
 	grid, err := buildGrid(patterns, slots, grantfree, radios)
 	if err != nil {
 		return err
@@ -96,7 +107,8 @@ func run(patterns, slots, grantfree, radios string, replicas, packets, parallel 
 	// seed is derived from the job's global shard index: independent of the
 	// worker layout by construction.
 	runs, err := sweep.Run(parallel, len(grid)*replicas, func(i int) (replicaOut, error) {
-		return runReplica(grid[i/replicas], sweep.Seed(seed, i), packets, deadline, perf)
+		return runReplica(grid[i/replicas], i, sweep.Seed(seed, i), packets, deadline, perf,
+			flightOut != "", flightTopK)
 	})
 	if err != nil {
 		return err
@@ -104,17 +116,38 @@ func run(patterns, slots, grantfree, radios string, replicas, packets, parallel 
 
 	var audits []*analyze.Audit
 	var summaries strings.Builder
+	flights := make([]*flight.Set, 0, len(grid))
 	for p, pt := range grid {
 		shard := runs[p*replicas : (p+1)*replicas]
 		traces := make([]*analyze.Trace, len(shard))
 		regs := make([]*obs.Registry, len(shard))
+		sets := make([]*flight.Set, len(shard))
 		for i, r := range shard {
-			traces[i], regs[i] = r.trace, r.reg
+			traces[i], regs[i], sets[i] = r.trace, r.reg, r.flight
 		}
 		audits = append(audits, analyze.Run(analyze.MergeTraces(traces...), pt.label, sim.Duration(deadline)))
+		if flightOut != "" {
+			// Shard-order merge: exact global top-K, bit-identical for any
+			// -parallel (the same contract as the registries and traces).
+			flights = append(flights, flight.MergeSets(sim.Duration(deadline), flightTopK, sets...))
+		}
 		if summary {
 			fmt.Fprintf(&summaries, "\n## Merged registry — %s (%d replicas)\n\n```\n%s```\n",
 				pt.label, replicas, sweep.MergeRegistries(regs).Summary())
+		}
+	}
+
+	if flightOut != "" {
+		err := obs.WriteFile(flightOut, func(w io.Writer) error {
+			for p, set := range flights {
+				if err := flight.WriteJSONL(w, set, grid[p].label); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
 		}
 	}
 
@@ -189,8 +222,18 @@ func perfSection(grid []point, runs []replicaOut, replicas int) string {
 // runReplica simulates one replica: its own scenario (engine, RNG, recorder),
 // packets offered uniformly in each direction, and returns the trace and
 // registry for the shard-ordered merge.
-func runReplica(pt point, seed uint64, packets int, deadline time.Duration, perf bool) (replicaOut, error) {
+func runReplica(pt point, shard int, seed uint64, packets int, deadline time.Duration,
+	perf bool, withFlight bool, flightTopK int) (replicaOut, error) {
 	rec := obs.NewRecorder()
+	// The flight recorder rides the replica's span/edge/outcome streams via
+	// the tap; it observes only, so the merged audit is unchanged by it.
+	var fr *flight.Recorder
+	if withFlight {
+		fr = flight.New(flight.Config{
+			Deadline: sim.Duration(deadline), TopK: flightTopK, Shard: shard,
+		})
+		rec.SetTap(fr)
+	}
 	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
 		Pattern:   pt.pattern,
 		SlotScale: pt.slot,
@@ -220,6 +263,9 @@ func runReplica(pt point, seed uint64, packets int, deadline time.Duration, perf
 	}
 	sc.Run(time.Duration(packets+60) * spacing)
 	out := replicaOut{trace: analyze.FromRecorder(rec), reg: rec.Metrics()}
+	if fr != nil {
+		out.flight = fr.Set()
+	}
 	if profiler != nil {
 		out.perf = profiler.Finish()
 	}

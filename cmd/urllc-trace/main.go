@@ -23,6 +23,7 @@ import (
 	"urllcsim/internal/obs"
 	"urllcsim/internal/obs/analyze"
 	"urllcsim/internal/sim"
+	"urllcsim/internal/version"
 )
 
 func main() {
@@ -36,7 +37,13 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry summary as CSV to this file")
 	audit := flag.Bool("audit", false, "append the deadline-budget audit (Fig. 3/4 tables) to the text output")
 	deadline := flag.Duration("deadline", 500*time.Microsecond, "one-way budget for -audit")
+	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
+
+	if *showVersion {
+		version.Print(os.Stdout, "urllc-trace", []string{obs.TraceSchema}, nil)
+		return
+	}
 
 	// Observability is opt-in: the recorder exists only when some output
 	// needs it, so the default text path runs the exact legacy pipeline.

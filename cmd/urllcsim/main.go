@@ -15,8 +15,12 @@ import (
 	"time"
 
 	"urllcsim"
+	"urllcsim/internal/bench"
 	"urllcsim/internal/obs"
+	"urllcsim/internal/obs/flight"
 	"urllcsim/internal/obs/prof"
+	"urllcsim/internal/sim"
+	"urllcsim/internal/version"
 )
 
 func main() {
@@ -38,7 +42,23 @@ func main() {
 	jsonlOut := flag.String("jsonl-out", "", "write the span/outcome/event trace as JSONL to this file (input for urllc-report)")
 	serve := flag.String("serve", "", "serve live telemetry on this address (e.g. :9090): /metrics Prometheus text, /debug/vars expvar, /debug/pprof; keeps serving after the run until interrupted")
 	profOut := flag.String("prof-out", "", "self-profile the engine and write the JSONL 'profile' record here; the top-event-types table goes to stderr (stdout stays byte-identical)")
+	flightOut := flag.String("flight-out", "", "write tail-forensics flight records (JSONL, one per deadline miss/loss/top-K worst packet, with the reconstructed causal chain) to this file")
+	flightTopK := flag.Int("flight-topk", flight.DefaultTopK, "per-direction worst-latency exemplars the flight recorder keeps")
+	flightTraceOut := flag.String("flight-trace-out", "", "write a focused Chrome trace of only the promoted flight exemplars to this file")
+	wdMissRate := flag.Float64("watchdog-missrate", 0, "fire a watchdog anomaly when a window's miss rate exceeds this fraction (0 = off)")
+	wdP99 := flag.Duration("watchdog-p99", 0, "fire a watchdog anomaly when a window's p99 latency exceeds this (0 = off)")
+	wdWindow := flag.Int("watchdog-window", flight.DefaultWindow, "packet outcomes per watchdog evaluation window")
+	anomalyOut := flag.String("anomaly-out", "", "stream watchdog 'anomaly' JSONL events to this file as they fire")
+	wdBaseline := flag.String("watchdog-baseline", "", "BENCH_*.json whose profiled events/sec seeds a throughput expectation; a run below half of it is flagged on stderr")
+	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
+
+	if *showVersion {
+		version.Print(os.Stdout, "urllcsim",
+			[]string{obs.TraceSchema, flight.Schema, flight.AnomalySchema, prof.ReportSchema},
+			[]string{bench.Schema + " (via -watchdog-baseline)"})
+		return
+	}
 
 	scales := map[string]urllcsim.SlotScale{
 		"1ms": urllcsim.Slot1ms, "0.5ms": urllcsim.Slot0p5ms,
@@ -61,9 +81,52 @@ func main() {
 
 	// Observability is opt-in: the recorder exists only when some output
 	// needs it, so the default run costs nothing extra.
+	wantWatchdog := *wdMissRate > 0 || *wdP99 > 0 || *anomalyOut != ""
+	wantFlight := *flightOut != "" || *flightTraceOut != ""
 	var rec *obs.Recorder
-	if *traceOut != "" || *metricsOut != "" || *snapshotsOut != "" || *jsonlOut != "" || *serve != "" {
+	if *traceOut != "" || *metricsOut != "" || *snapshotsOut != "" || *jsonlOut != "" || *serve != "" ||
+		wantFlight || wantWatchdog {
 		rec = obs.NewRecorder()
+	}
+	// Only the full-trace exports need retained spans/outcomes; a
+	// flight/watchdog/metrics-only run keeps the recorder's memory bounded by
+	// the ring, not the run length.
+	if *traceOut == "" && *jsonlOut == "" {
+		rec.SetRetention(false, false)
+	}
+
+	// Taps ride the span/outcome/edge streams without retaining them.
+	var taps obs.Taps
+	var flightRec *flight.Recorder
+	if wantFlight {
+		flightRec = flight.New(flight.Config{Deadline: sim.Duration(*deadline), TopK: *flightTopK})
+		taps = append(taps, flightRec)
+	}
+	var watchdog *flight.Watchdog
+	var anomalyFile *os.File
+	if wantWatchdog {
+		wcfg := flight.WatchdogConfig{
+			Window: *wdWindow, MaxMissRate: *wdMissRate,
+			MaxP99: sim.Duration(*wdP99), Deadline: sim.Duration(*deadline), Rec: rec,
+		}
+		if *anomalyOut != "" {
+			var err error
+			if anomalyFile, err = os.Create(*anomalyOut); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			defer anomalyFile.Close()
+			wcfg.Out = anomalyFile
+		}
+		watchdog = flight.NewWatchdog(wcfg)
+		taps = append(taps, watchdog)
+	}
+	switch len(taps) {
+	case 0:
+	case 1:
+		rec.SetTap(taps[0])
+	default:
+		rec.SetTap(taps)
 	}
 
 	// The telemetry server must attach before the run so the registry lock
@@ -100,7 +163,7 @@ func main() {
 	// feeding) the recorder's engine sink. It observes only: the scenario
 	// output is byte-identical with and without it.
 	var profiler *prof.Profiler
-	if *profOut != "" {
+	if *profOut != "" || *wdBaseline != "" {
 		profiler = prof.Attach(sc.Engine())
 	}
 
@@ -121,12 +184,26 @@ func main() {
 		// Publish before the exports below so -metrics-out and -serve carry
 		// the profiler's registry view alongside the simulation's.
 		rep.Publish(rec)
-		if err := obs.WriteFile(*profOut, rep.WriteJSONL); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		if *profOut != "" {
+			if err := obs.WriteFile(*profOut, rep.WriteJSONL); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(1)
+			}
+			fmt.Fprint(os.Stderr, rep.MarkdownTable())
 		}
-		fmt.Fprint(os.Stderr, rep.MarkdownTable())
+		if *wdBaseline != "" {
+			checkBaseline(*wdBaseline, rep, rec)
+		}
 	}
+
+	var flightSet *flight.Set
+	if flightRec != nil {
+		flightSet = flightRec.Set()
+		st := flightRec.Stats()
+		fmt.Fprintf(os.Stderr, "flight: %d outcomes resolved, %d exemplars promoted (ring high-water %d packets / %d chain entries)\n",
+			st.Resolved, st.Promoted, st.MaxLiveTracked, st.MaxLiveEntries)
+	}
+	flightLabel := fmt.Sprintf("%s/%s/%s", *pattern, *slot, *radioKind)
 
 	exports := []struct {
 		path  string
@@ -136,6 +213,16 @@ func main() {
 		{*metricsOut, func(w io.Writer) error { return obs.WriteMetricsCSV(w, rec.Metrics()) }},
 		{*snapshotsOut, func(w io.Writer) error { return obs.WriteSnapshotsCSV(w, rec.Metrics()) }},
 		{*jsonlOut, func(w io.Writer) error { return obs.WriteJSONL(w, rec) }},
+		{*flightOut, func(w io.Writer) error {
+			if err := flight.WriteJSONL(w, flightSet, flightLabel); err != nil {
+				return err
+			}
+			if watchdog == nil {
+				return nil
+			}
+			return flight.WriteAnomalies(w, watchdog.Anomalies())
+		}},
+		{*flightTraceOut, func(w io.Writer) error { return flight.WriteChromeTrace(w, flightSet) }},
 	}
 	for _, ex := range exports {
 		if ex.path == "" {
@@ -145,6 +232,14 @@ func main() {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+	}
+
+	if watchdog != nil {
+		if err := watchdog.Err(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Fprintf(os.Stderr, "watchdog: %d anomaly event(s)\n", len(watchdog.Anomalies()))
 	}
 
 	report := func(uplink bool, label string) {
@@ -196,10 +291,38 @@ func main() {
 	// With -serve, stay up after the run so the final counters and
 	// histograms can still be scraped and profiled; ^C exits.
 	if live != nil {
+		if watchdog != nil {
+			fmt.Fprintf(os.Stderr, "watchdog gauges live under watchdog.* on /metrics\n")
+		}
 		fmt.Fprintf(os.Stderr, "run finished; still serving on http://%s — interrupt to exit\n", live.Addr)
 		ch := make(chan os.Signal, 1)
 		signal.Notify(ch, os.Interrupt)
 		<-ch
 		live.Close()
 	}
+}
+
+// checkBaseline compares this run's measured engine throughput against the
+// profiled reference recorded in a BENCH_*.json baseline. Wall-clock
+// throughput is machine- and load-dependent, so the verdict is advisory:
+// a stderr line plus a watchdog counter, never an exit status and never
+// anything on stdout.
+func checkBaseline(path string, rep *prof.Report, rec *obs.Recorder) {
+	base, err := bench.Load(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "watchdog: baseline unusable: %v\n", err)
+		return
+	}
+	if base.Profile == nil || base.Profile.EventsPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "watchdog: baseline %s has no profiled reference scenario\n", path)
+		return
+	}
+	exp := base.Profile.EventsPerSec
+	if rep.EventsPerSec < exp/2 {
+		rec.Count("watchdog.throughput_anomaly", 1)
+		fmt.Fprintf(os.Stderr, "watchdog: throughput anomaly: %.0f events/s vs baseline %.0f (below 50%%)\n",
+			rep.EventsPerSec, exp)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "watchdog: throughput ok: %.0f events/s vs baseline %.0f\n", rep.EventsPerSec, exp)
 }

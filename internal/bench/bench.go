@@ -17,6 +17,7 @@ import (
 	"urllcsim/internal/core"
 	"urllcsim/internal/nr"
 	"urllcsim/internal/obs"
+	"urllcsim/internal/obs/flight"
 	"urllcsim/internal/sim"
 	"urllcsim/internal/sweep"
 )
@@ -93,6 +94,11 @@ func Suite() []Benchmark {
 			Name: "ObsDisabled",
 			Desc: "obs.Recorder hot path with a nil recorder (must stay ~free)",
 			F:    obsDisabled,
+		},
+		{
+			Name: "FlightRecorderOverhead",
+			Desc: "full-stack scenario with the flight recorder tapped in (vs ScenarioThroughput)",
+			F:    flightRecorderOverhead,
 		},
 	}
 }
@@ -259,6 +265,40 @@ func obsRecord(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)*n*3/b.Elapsed().Seconds(), "records/sec")
+}
+
+// flightRecorderOverhead is scenarioThroughput with a retention-free
+// recorder and a flight-recorder tap attached — the exact configuration
+// `urllcsim -flight-out` runs. The events/sec gap between this entry and
+// ScenarioThroughput is the flight recorder's whole-run cost, which the
+// ≤2 % overhead budget for always-on tail forensics gates on.
+func flightRecorderOverhead(b *testing.B) {
+	b.ReportAllocs()
+	rec := obs.NewRecorder()
+	rec.SetRetention(false, false)
+	fr := flight.New(flight.Config{
+		Deadline: 500 * sim.Microsecond, TopK: flight.DefaultTopK,
+	})
+	rec.SetTap(fr)
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDDDU, SlotScale: urllcsim.Slot0p5ms,
+		Radio: urllcsim.RadioUSB2, Seed: 1, Obs: rec,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc.SendDownlink(time.Duration(i)*2*time.Millisecond, 32)
+	}
+	rs := sc.Run(time.Duration(b.N+50) * 2 * time.Millisecond)
+	if len(rs) != b.N {
+		b.Fatalf("resolved %d/%d", len(rs), b.N)
+	}
+	if st := fr.Stats(); st.Resolved != b.N {
+		b.Fatalf("flight recorder resolved %d/%d", st.Resolved, b.N)
+	}
+	b.ReportMetric(float64(sc.Engine().Steps())/b.Elapsed().Seconds(), "events/sec")
 }
 
 // obsDisabled measures the same call sequence against a nil recorder: the

@@ -46,7 +46,7 @@ var missCounter = [core.NumSources]string{
 // audit emits the packet's obs.Outcome and, when a deadline is configured,
 // its verdict against the one-way budget.
 func (s *System) audit(id int, dir obs.Dir, ok bool, lat sim.Duration, attempts int, bd *core.Breakdown) {
-	s.obs.Outcome(obs.Outcome{Packet: id, Dir: dir, Delivered: ok, Latency: lat, Attempts: attempts})
+	s.obs.Outcome(obs.Outcome{Packet: id, Dir: dir, Delivered: ok, Latency: lat, Attempts: attempts, End: s.Eng.Now()})
 	if s.cfg.Deadline <= 0 {
 		return
 	}
@@ -162,6 +162,8 @@ func (s *System) tick(b sim.Time) {
 			if p := s.dlItems[q.ID]; p != nil {
 				s.seg(p.bd, p.id, obs.DirDL, obs.LayerRLC,
 					"⑨ RLC queue (SCHE wait)", core.Protocol, q.EnqueuedAt, wait)
+				s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirDL, Kind: obs.EdgeSchedTake,
+					Time: b, Ref: plan.TargetDL, Arg: int64(wait)})
 			}
 		}
 		s.launchDL(b, plan, taken)
@@ -201,6 +203,8 @@ func (s *System) OfferDL(at sim.Time, payload []byte) int {
 			s.Eng.Schedule(enq, "dl.enqueue", func() {
 				p.enqueued = enq
 				s.gnbRLC.Enqueue(rlcQueued(p))
+				s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirDL, Kind: obs.EdgeEnqueued,
+					Time: enq, Arg: int64(len(s.gnbRLC.Peek()))})
 			})
 		})
 	})
@@ -250,6 +254,8 @@ func (s *System) launchDL(b sim.Time, plan sched.Plan, taken []rlcQ) {
 					}
 					s.seg(p.bd, p.id, obs.DirDL, obs.LayerBus,
 						"radio miss → requeue", core.Radio, target, ready.Sub(target))
+					s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirDL, Kind: obs.EdgeRadioMiss,
+						Time: ready, Ref: target, Arg: int64(ready.Sub(target))})
 					s.gnbRLC.Enqueue(rlcQueued(p)) // keeps original EnqueuedAt
 				}
 			}
@@ -322,12 +328,24 @@ func (s *System) transmitDL(target sim.Time, taken []rlcQ) {
 	}
 	onAirEnd := target.Add(ctrl + air)
 	rx, txErr := s.phyDL.Transmit(tb, target)
+	for _, id := range ids {
+		if p := s.dlItems[id]; p != nil {
+			s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirDL, Kind: obs.EdgeTxStart,
+				Time: target, Ref: target, Arg: int64(p.attempts + 1)})
+		}
+	}
 	s.harqLaunch(1)
 	s.Eng.Schedule(onAirEnd, "dl.rx", func() {
 		s.harqResolve(1)
 		if txErr != nil {
 			s.counters.PHYLosses++
 			s.obs.Count(cCRCFailures, 1)
+			for _, id := range ids {
+				if p := s.dlItems[id]; p != nil {
+					s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirDL, Kind: obs.EdgeCRCFail,
+						Time: onAirEnd, Arg: int64(p.attempts + 1)})
+				}
+			}
 			// When the feedback loop is modelled, the gNB learns of the
 			// failure only after the UE's NACK travels back: UE decode,
 			// next UL opportunity, one symbol of PUCCH, radio up, gNB PHY.
@@ -355,6 +373,8 @@ func (s *System) transmitDL(target sim.Time, taken []rlcQ) {
 						s.finishDL(p, requeueAt, false)
 					} else {
 						s.obs.Count(cHARQRetx, 1)
+						s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirDL, Kind: obs.EdgeHARQRetx,
+							Time: requeueAt, Arg: int64(p.attempts + 1)})
 						s.seg(p.bd, p.id, obs.DirDL, obs.LayerMAC,
 							"HARQ retransmission", core.Protocol, target, requeueAt.Sub(target))
 						s.gnbRLC.Enqueue(rlcQueued(p))

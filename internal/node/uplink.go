@@ -58,6 +58,8 @@ func (s *System) ulSendSR(p *ulPacket) {
 	s.seg(p.bd, p.id, obs.DirUL, obs.LayerSched, "② wait for UL slot + SR", core.Protocol, p.ready, srStart.Sub(p.ready)+sym)
 	s.counters.SRsSent++
 	s.obs.Count(cSRsSent, 1)
+	s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeSRSent,
+		Time: srStart, Ref: p.ready, Arg: int64(srStart.Sub(p.ready))})
 	srEnd := srStart.Add(sym)
 	// ③ gNB radio + PHY decode of the SR.
 	var radioD sim.Duration
@@ -70,6 +72,7 @@ func (s *System) ulSendSR(p *ulPacket) {
 	s.seg(p.bd, p.id, obs.DirUL, obs.LayerPHY, "③ gNB PHY", core.Processing, srEnd.Add(radioD), phyD)
 	s.Eng.Schedule(recvAt, "ul.sr.recv", func() {
 		p.srRecvAt = recvAt
+		s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeSRReceived, Time: recvAt})
 		s.sch.OnSR(sched.SRRequest{UE: 0, RecvAt: recvAt, Bytes: len(p.data) + 64})
 		s.pendingSRPackets = append(s.pendingSRPackets, p)
 	})
@@ -83,6 +86,8 @@ func (s *System) deliverGrant(targetDL sim.Time, g sched.Grant) {
 	}
 	p := s.pendingSRPackets[0]
 	s.pendingSRPackets = s.pendingSRPackets[1:]
+	s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeGrantIssued,
+		Time: s.Eng.Now(), Ref: g.SlotStart, Arg: int64(s.Eng.Now().Sub(p.srRecvAt))})
 	sym := s.cfg.Grid.Mu.SymbolDuration()
 	ctrlEnd := targetDL.Add(2 * sym)
 	// ④/⑤: from SR reception to the grant's control symbols landing at the
@@ -93,6 +98,8 @@ func (s *System) deliverGrant(targetDL sim.Time, g sched.Grant) {
 	haveGrant := ctrlEnd.Add(decode)
 	s.seg(p.bd, p.id, obs.DirUL, obs.LayerMAC, "⑥ UE grant decode", core.Processing, ctrlEnd, decode)
 	s.Eng.Schedule(haveGrant, "ul.grant", func() {
+		s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeGrantDecoded,
+			Time: haveGrant, Ref: g.SlotStart})
 		s.ulTransmitAt(p, g.SlotStart, haveGrant)
 	})
 }
@@ -167,6 +174,8 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 	}
 	onAirEnd := ulStart.Add(air)
 	rx, txErr := s.phyUL.Transmit(tb, ulStart)
+	s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeTxStart,
+		Time: ulStart, Ref: slotStart, Arg: int64(p.attempts + 1)})
 	s.harqLaunch(1)
 	s.Eng.Schedule(onAirEnd, "ul.rx", func() {
 		s.harqResolve(1)
@@ -174,6 +183,8 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 			s.counters.PHYLosses++
 			s.obs.Count(cCRCFailures, 1)
 			p.attempts++
+			s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeCRCFail,
+				Time: onAirEnd, Arg: int64(p.attempts)})
 			if p.attempts >= s.cfg.HARQMaxTx {
 				s.finishUL(p, onAirEnd, false)
 				return
@@ -181,6 +192,8 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 			// HARQ: retransmit in the next UL opportunity (grant-free) or
 			// after a fresh SR (grant-based).
 			s.obs.Count(cHARQRetx, 1)
+			s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeHARQRetx,
+				Time: onAirEnd, Arg: int64(p.attempts + 1)})
 			s.seg(p.bd, p.id, obs.DirUL, obs.LayerMAC, "HARQ retransmission", core.Protocol, ulStart, air)
 			p.ready = onAirEnd
 			if s.cfg.GrantFree {

@@ -24,6 +24,9 @@ type Trace struct {
 type jsonLine struct {
 	Kind string `json:"kind"`
 
+	// meta
+	Schema string `json:"schema"`
+
 	// span + event + outcome
 	Packet int    `json:"packet"`
 	Layer  string `json:"layer"`
@@ -43,6 +46,7 @@ type jsonLine struct {
 	Delivered bool    `json:"delivered"`
 	LatencyUs float64 `json:"latency_us"`
 	Attempts  int     `json:"attempts"`
+	EndUs     float64 `json:"end_us"`
 }
 
 // usToNs converts the wire format's µs floats back to integer nanoseconds.
@@ -54,9 +58,11 @@ type jsonLine struct {
 func usToNs(us float64) int64 { return int64(math.Round(us * 1000)) }
 
 // ReadJSONL parses a trace written by obs.WriteJSONL. Unknown record kinds
-// are skipped (forward compatibility); malformed JSON or unknown enum names
-// are errors. The result reconstructs the recorder's state losslessly —
-// span and outcome times are exact to the nanosecond.
+// are skipped (forward compatibility); malformed JSON, unknown enum names or
+// an unknown trace schema version are errors. Traces written before the meta
+// line existed (no "meta" record) are still accepted. The result
+// reconstructs the recorder's state losslessly — span and outcome times are
+// exact to the nanosecond.
 func ReadJSONL(r io.Reader) (*Trace, error) {
 	tr := &Trace{}
 	sc := bufio.NewScanner(r)
@@ -73,6 +79,11 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 			return nil, fmt.Errorf("analyze: line %d: %w", lineNo, err)
 		}
 		switch jl.Kind {
+		case "meta":
+			if jl.Schema != obs.TraceSchema {
+				return nil, fmt.Errorf("analyze: line %d: unsupported trace schema %q (this reader speaks %q)",
+					lineNo, jl.Schema, obs.TraceSchema)
+			}
 		case "span":
 			dir, ok := obs.ParseDir(jl.Dir)
 			if !ok {
@@ -98,6 +109,7 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 			tr.Outcomes = append(tr.Outcomes, obs.Outcome{
 				Packet: jl.Packet, Dir: dir, Delivered: jl.Delivered,
 				Latency: sim.Duration(usToNs(jl.LatencyUs)), Attempts: jl.Attempts,
+				End: sim.Time(usToNs(jl.EndUs)),
 			})
 		case "event":
 			layer, ok := obs.ParseLayer(jl.Layer)

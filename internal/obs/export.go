@@ -8,6 +8,18 @@ import (
 	"os"
 )
 
+// TraceSchema versions the JSONL span/outcome/event trace format; bump on
+// any breaking field change. Readers accept files with no meta line (written
+// before the schema existed) but refuse an unknown version outright, so a
+// report is never silently zero-filled from a format it cannot parse.
+const TraceSchema = "urllcsim-trace/v1"
+
+// jsonMeta is the first line of a JSONL trace: its schema version.
+type jsonMeta struct {
+	Kind   string `json:"kind"` // "meta"
+	Schema string `json:"schema"`
+}
+
 // jsonSpan is the JSONL wire form of a Span. Times are µs floats, the
 // paper's unit.
 type jsonSpan struct {
@@ -38,6 +50,7 @@ type jsonOutcome struct {
 	Delivered bool    `json:"delivered"`
 	LatencyUs float64 `json:"latency_us"`
 	Attempts  int     `json:"attempts"`
+	EndUs     float64 `json:"end_us"` // resolution instant; 0 in pre-v1 traces
 }
 
 // WriteJSONL writes every span, outcome and event as one JSON object per
@@ -48,6 +61,9 @@ type jsonOutcome struct {
 func WriteJSONL(w io.Writer, r *Recorder) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonMeta{Kind: "meta", Schema: TraceSchema}); err != nil {
+		return err
+	}
 	for _, s := range r.Spans() {
 		js := jsonSpan{
 			Kind: "span", Packet: s.Packet, Dir: s.Dir.String(),
@@ -62,7 +78,7 @@ func WriteJSONL(w io.Writer, r *Recorder) error {
 		jo := jsonOutcome{
 			Kind: "outcome", Packet: o.Packet, Dir: o.Dir.String(),
 			Delivered: o.Delivered, LatencyUs: float64(o.Latency) / 1000,
-			Attempts: o.Attempts,
+			Attempts: o.Attempts, EndUs: o.End.Micros(),
 		}
 		if err := enc.Encode(jo); err != nil {
 			return err

@@ -37,16 +37,23 @@ func TestWriteJSONL(t *testing.T) {
 		}
 		kinds = append(kinds, m["kind"].(string))
 	}
-	if len(kinds) != 4 { // 3 spans + 1 event
-		t.Fatalf("wrote %d lines, want 4: %v", len(kinds), kinds)
+	if len(kinds) != 5 { // meta + 3 spans + 1 event
+		t.Fatalf("wrote %d lines, want 5: %v", len(kinds), kinds)
 	}
-	if kinds[0] != "span" || kinds[3] != "event" {
+	if kinds[0] != "meta" || kinds[1] != "span" || kinds[4] != "event" {
 		t.Fatalf("kinds = %v", kinds)
 	}
 
+	lines := strings.SplitN(sb.String(), "\n", 3)
+	var meta map[string]any
+	if err := json.Unmarshal([]byte(lines[0]), &meta); err != nil {
+		t.Fatal(err)
+	}
+	if meta["schema"] != TraceSchema {
+		t.Fatalf("meta schema = %v, want %v", meta["schema"], TraceSchema)
+	}
 	var first map[string]any
-	line1, _, _ := strings.Cut(sb.String(), "\n")
-	if err := json.Unmarshal([]byte(line1), &first); err != nil {
+	if err := json.Unmarshal([]byte(lines[1]), &first); err != nil {
 		t.Fatal(err)
 	}
 	if first["layer"] != "stack" || first["source"] != "processing" || first["dur_us"] != 30.0 {

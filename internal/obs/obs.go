@@ -139,6 +139,98 @@ type Outcome struct {
 	Delivered bool
 	Latency   sim.Duration
 	Attempts  int
+	End       sim.Time // sim instant the verdict landed (wire: end_us; 0 in pre-meta traces)
+}
+
+// EdgeKind names one causal transition of a packet's journey: the discrete
+// decisions — scheduler, HARQ, SR/grant handshake — that spans alone cannot
+// express, because a span says "this took 212 µs" while an edge says "because
+// the SR had to wait 2 slots for a UL opportunity". The flight recorder
+// (internal/obs/flight) consumes edges to reconstruct why a deadline was
+// missed.
+type EdgeKind uint8
+
+const (
+	EdgeSRSent       EdgeKind = iota // UE sent the scheduling request; Ref = instant the packet was ready, Arg = ns waited for the UL opportunity
+	EdgeSRReceived                   // gNB finished decoding the SR
+	EdgeGrantIssued                  // scheduler issued the UL grant; Ref = granted slot start, Arg = ns since SR reception
+	EdgeGrantDecoded                 // UE decoded the grant on DL control; Ref = granted slot start
+	EdgeEnqueued                     // DL packet entered the gNB RLC queue; Arg = queue depth after
+	EdgeSchedTake                    // scheduler consumed the packet from the RLC queue; Ref = target DL slot, Arg = ns queued
+	EdgeTxStart                      // transport block went on air; Ref = slot start, Arg = attempt number (1-based)
+	EdgeCRCFail                      // transport block lost on air (HARQ NACK); Arg = attempt number
+	EdgeHARQRetx                     // retransmission re-armed after a NACK; Arg = next attempt number
+	EdgeRadioMiss                    // slot lost: radio not ready when it started (§4); Ref = missed slot start, Arg = ns late
+	numEdgeKinds
+)
+
+var edgeKindNames = [numEdgeKinds]string{
+	"sr_sent", "sr_received", "grant_issued", "grant_decoded",
+	"enqueued", "sched_take", "tx_start", "crc_fail", "harq_retx", "radio_miss",
+}
+
+func (k EdgeKind) String() string {
+	if int(k) < len(edgeKindNames) {
+		return edgeKindNames[k]
+	}
+	return "edge?"
+}
+
+// ParseEdgeKind is the inverse of EdgeKind.String. Unknown names report
+// ok=false.
+func ParseEdgeKind(s string) (EdgeKind, bool) {
+	for i, n := range edgeKindNames {
+		if n == s {
+			return EdgeKind(i), true
+		}
+	}
+	return 0, false
+}
+
+// Edge is one causal transition of one packet's journey. Edges are not
+// retained by the Recorder — they flow through to the attached Tap (the
+// flight recorder) and cost nothing when no tap is mounted, so model code
+// stamps them unconditionally.
+type Edge struct {
+	Packet int
+	Dir    Dir
+	Kind   EdgeKind
+	Time   sim.Time // when the transition happened
+	Ref    sim.Time // related instant (slot boundary, symbol start); 0 when unused
+	Arg    int64    // kind-specific detail (ns waited, attempt #, queue depth)
+}
+
+// Tap receives every span, outcome and edge as it is recorded — the
+// streaming half of the observability layer. A flight recorder mounts here
+// to keep bounded causal state instead of the Recorder's full log; a
+// watchdog mounts here to run streaming SLO estimators. Taps run inside the
+// simulation's thread of control and must not block.
+type Tap interface {
+	TapSpan(Span)
+	TapOutcome(Outcome)
+	TapEdge(Edge)
+}
+
+// Taps fans the stream out to several taps in order (e.g. a watchdog plus a
+// flight recorder).
+type Taps []Tap
+
+func (ts Taps) TapSpan(s Span) {
+	for _, t := range ts {
+		t.TapSpan(s)
+	}
+}
+
+func (ts Taps) TapOutcome(o Outcome) {
+	for _, t := range ts {
+		t.TapOutcome(o)
+	}
+}
+
+func (ts Taps) TapEdge(e Edge) {
+	for _, t := range ts {
+		t.TapEdge(e)
+	}
 }
 
 // Recorder collects spans, events and metrics for one simulation run. The
@@ -157,6 +249,10 @@ type Recorder struct {
 	outcomes []Outcome
 	reg      *Registry
 
+	// tap, when non-nil, receives every span, outcome and edge as it is
+	// recorded (see Tap). One pointer comparison when absent.
+	tap Tap
+
 	// live guards the metrics registry when a telemetry server is attached.
 	// Nil in the default single-threaded case: every registry-touching
 	// method then pays exactly one pointer comparison, keeping the
@@ -167,11 +263,41 @@ type Recorder struct {
 	// Off by default: a full scenario run fires hundreds of thousands of
 	// engine events.
 	captureEngine bool
+
+	// discardSpans / discardOutcomes stop the recorder from retaining the
+	// span/outcome logs (taps still see every record). This is the
+	// bounded-memory mode: with a flight recorder tapped and retention off,
+	// observing a run costs O(ring) memory regardless of run length.
+	discardSpans    bool
+	discardOutcomes bool
 }
 
 // NewRecorder returns an enabled recorder with a fresh metrics registry.
 func NewRecorder() *Recorder {
 	return &Recorder{reg: NewRegistry()}
+}
+
+// SetTap mounts a streaming consumer for spans, outcomes and edges. Pass a
+// Taps slice to fan out to several. Call before the simulation starts.
+func (r *Recorder) SetTap(t Tap) {
+	if r == nil {
+		return
+	}
+	r.tap = t
+}
+
+// SetRetention toggles whether the recorder retains its span and outcome
+// logs (both default to true). With retention off, spans and outcomes flow
+// only to the tap and the metrics registry — the configuration long runs use
+// so memory stays bounded by the flight recorder's ring rather than the run
+// length. Exporters that need the full log (WriteJSONL, WriteChromeTrace)
+// will see empty streams for whatever was discarded.
+func (r *Recorder) SetRetention(spans, outcomes bool) {
+	if r == nil {
+		return
+	}
+	r.discardSpans = !spans
+	r.discardOutcomes = !outcomes
 }
 
 // Enabled reports whether the recorder is collecting (i.e. non-nil).
@@ -199,7 +325,12 @@ func (r *Recorder) Span(s Span) {
 	if r == nil {
 		return
 	}
-	r.spans = append(r.spans, s)
+	if r.tap != nil {
+		r.tap.TapSpan(s)
+	}
+	if !r.discardSpans {
+		r.spans = append(r.spans, s)
+	}
 }
 
 // PacketSpan records one packet-journey span from its fields.
@@ -208,10 +339,26 @@ func (r *Recorder) PacketSpan(packet int, dir Dir, layer Layer, step string,
 	if r == nil {
 		return
 	}
-	r.spans = append(r.spans, Span{
+	s := Span{
 		Packet: packet, Dir: dir, Layer: layer, Step: step,
 		Source: src, Start: start, Dur: dur,
-	})
+	}
+	if r.tap != nil {
+		r.tap.TapSpan(s)
+	}
+	if !r.discardSpans {
+		r.spans = append(r.spans, s)
+	}
+}
+
+// Edge records one causal transition. Edges are never retained by the
+// recorder — they exist for the tap (flight recorder); with no tap mounted
+// this is one pointer comparison.
+func (r *Recorder) Edge(e Edge) {
+	if r == nil || r.tap == nil {
+		return
+	}
+	r.tap.TapEdge(e)
 }
 
 // Mark records an instantaneous event.
@@ -320,7 +467,12 @@ func (r *Recorder) Outcome(o Outcome) {
 	if r == nil {
 		return
 	}
-	r.outcomes = append(r.outcomes, o)
+	if r.tap != nil {
+		r.tap.TapOutcome(o)
+	}
+	if !r.discardOutcomes {
+		r.outcomes = append(r.outcomes, o)
+	}
 }
 
 // Outcomes returns the recorded packet outcomes in resolution order.

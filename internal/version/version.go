@@ -1,0 +1,79 @@
+// Package version answers "which build is this, and which JSONL dialects
+// does it speak?" — the first two questions of any forensic session that
+// starts from an artifact file instead of a live run. Every CLI exposes it
+// behind -version, printing the module version, the VCS commit when the Go
+// toolchain stamped one, and the schema identifiers the command emits and
+// accepts, so a mismatch between a file and a reader is diagnosable without
+// reading code.
+package version
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"runtime/debug"
+)
+
+// Info is the resolved build identity.
+type Info struct {
+	Module   string // module path ("urllcsim")
+	Version  string // module version ("(devel)" for a source build)
+	Revision string // VCS commit hash, "" when not stamped
+	Dirty    bool   // VCS working tree had local modifications
+	Go       string // toolchain that built the binary
+}
+
+// Get reads the build identity stamped into the running binary. Works for
+// source builds ("(devel)", no revision) and released/VCS-stamped builds
+// alike; never fails.
+func Get() Info {
+	info := Info{Module: "urllcsim", Version: "(devel)", Go: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if bi.Main.Path != "" {
+		info.Module = bi.Main.Path
+	}
+	if bi.Main.Version != "" {
+		info.Version = bi.Main.Version
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// String renders the identity on one line: "urllcsim (devel) commit abc1234
+// (dirty) go1.23.0".
+func (i Info) String() string {
+	s := i.Module + " " + i.Version
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		s += " commit " + rev
+		if i.Dirty {
+			s += " (dirty)"
+		}
+	}
+	return s + " " + i.Go
+}
+
+// Print writes the -version report for one command: build identity plus the
+// schema-versioned JSONL dialects it emits and accepts.
+func Print(w io.Writer, cmd string, emits, accepts []string) {
+	fmt.Fprintf(w, "%s %s\n", cmd, Get())
+	for _, s := range emits {
+		fmt.Fprintf(w, "  emits   %s\n", s)
+	}
+	for _, s := range accepts {
+		fmt.Fprintf(w, "  accepts %s\n", s)
+	}
+}
