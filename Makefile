@@ -8,12 +8,13 @@ GO ?= go
 BENCH_TOL  ?= 10%
 SMOKE_TOL  ?= 500%
 
-.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke flight-smoke
+.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke flight-smoke kpi-smoke
 
 ## check: full verification gate — lint (vet + gofmt), build, race-enabled tests,
 ## the parallel-vs-sequential sweep invariance smoke, the flight-recorder
-## no-interference smoke, and the benchmark-harness smoke
-check: lint build race sweep-smoke flight-smoke bench-smoke
+## no-interference smoke, the dimensional-KPI smoke, and the benchmark-harness
+## smoke
+check: lint build race sweep-smoke flight-smoke kpi-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -98,6 +99,39 @@ flight-smoke:
 	if $$tmp/urllc-report /dev/null >/dev/null 2>&1; then \
 		echo "flight-smoke FAIL: empty input did not error"; exit 1; fi && \
 	echo "flight-smoke OK: stdout untouched, narrative rendered, merge worker-invariant ($$tmp)" && rm -rf $$tmp
+
+## kpi-smoke: the dimensional-KPI contract, end to end — UE attribution and
+## the slot ledger must leave default stdout byte-identical, ledger and KPI
+## files must render their report sections, the sweep's merged ledger must be
+## byte-identical across worker counts, and a future-schema ledger must be a
+## one-line error (exit 1)
+kpi-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/urllcsim ./cmd/urllcsim && \
+	$(GO) build -o $$tmp/urllc-sweep ./cmd/urllc-sweep && \
+	$(GO) build -o $$tmp/urllc-report ./cmd/urllc-report && \
+	$$tmp/urllcsim -packets 40 -ues 4 > $$tmp/plain.out && \
+	$$tmp/urllcsim -packets 40 -ues 4 -slots-out $$tmp/slots.jsonl \
+		-kpi-out $$tmp/kpi.jsonl > $$tmp/labeled.out && \
+	cmp $$tmp/plain.out $$tmp/labeled.out && \
+	$$tmp/urllc-report $$tmp/slots.jsonl > $$tmp/slots.md && \
+	grep -q 'Slot occupancy' $$tmp/slots.md && \
+	$$tmp/urllc-report -kpi-csv $$tmp/kpi.csv -ccdf-csv $$tmp/ccdf.csv \
+		$$tmp/kpi.jsonl > $$tmp/kpi.md && \
+	grep -q 'Per-UE KPIs' $$tmp/kpi.md && \
+	grep -q 'Jain fairness' $$tmp/kpi.md && \
+	grep -q '^label,dir,ue,' $$tmp/kpi.csv && \
+	grep -q '^label,dir,latency_le_us,' $$tmp/ccdf.csv && \
+	$$tmp/urllc-sweep -pattern DDDU -replicas 4 -packets 15 -ues 3 -summary \
+		-parallel 1 -out $$tmp/k1.md -slots-out $$tmp/l1.jsonl && \
+	$$tmp/urllc-sweep -pattern DDDU -replicas 4 -packets 15 -ues 3 -summary \
+		-parallel 4 -out $$tmp/k4.md -slots-out $$tmp/l4.jsonl && \
+	cmp $$tmp/l1.jsonl $$tmp/l4.jsonl && cmp $$tmp/k1.md $$tmp/k4.md && \
+	grep -q 'pkt.by_ue' $$tmp/k1.md && \
+	echo '{"kind":"slots_meta","schema":"urllcsim-slots/v99"}' > $$tmp/future.jsonl && \
+	if $$tmp/urllc-report $$tmp/future.jsonl >/dev/null 2>&1; then \
+		echo "kpi-smoke FAIL: future slots schema did not error"; exit 1; fi && \
+	echo "kpi-smoke OK: stdout untouched, sections rendered, ledger merge worker-invariant ($$tmp)" && rm -rf $$tmp
 
 ## sweep-smoke: a small parallel config grid must reproduce the sequential
 ## golden byte-for-byte — the worker-count-invariance contract, end to end

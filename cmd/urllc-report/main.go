@@ -5,6 +5,10 @@
 // breakdown. Files carrying tail-forensics `flight` records (urllcsim
 // -flight-out, urllc-sweep -flight-out) additionally render a per-miss
 // forensic narrative section with each promoted packet's causal chain.
+// Slot-ledger files (urllcsim -slots-out, urllcsim-slots/v1) render a "Slot
+// occupancy" section; KPI files (urllcsim -kpi-out, urllcsim-kpi/v1) — and
+// any trace carrying outcome records — render a "Per-UE KPIs" section with
+// Age-of-Information, Jain fairness and reliability CCDF excerpts.
 //
 //	urllcsim -jsonl-out run.jsonl
 //	urllc-report run.jsonl                      # Markdown to stdout
@@ -40,12 +44,14 @@ func main() {
 	mdOut := flag.String("md", "", "write the Markdown report to this file instead of stdout")
 	feasOut := flag.String("csv", "", "write the Fig. 4-style feasibility table as CSV to this file")
 	breakdownOut := flag.String("breakdown-csv", "", "write the Fig. 3 temporal breakdown as CSV to this file")
+	kpiOut := flag.String("kpi-csv", "", "write the per-UE KPI table (AoI, fairness, reliability) as CSV to this file")
+	ccdfOut := flag.String("ccdf-csv", "", "write the reliability CCDF curves as CSV to this file")
 	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
 
 	if *showVersion {
 		version.Print(os.Stdout, "urllc-report", nil,
-			[]string{obs.TraceSchema, flight.Schema, flight.AnomalySchema})
+			[]string{obs.TraceSchema, obs.SlotsSchema, analyze.KPISchema, flight.Schema, flight.AnomalySchema})
 		return
 	}
 
@@ -57,14 +63,16 @@ func main() {
 
 	var audits []*analyze.Audit
 	var forensics []*flight.File
+	var slotFiles []*obs.SlotFile
+	var kpis []*analyze.KPIReport
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
-		// One file may carry trace records, flight records, or both; each
-		// reader skips the other family's kinds.
+		// One file may carry trace, flight, slot-ledger or KPI records, or a
+		// mix; each reader skips the other dialects' kinds.
 		tr, err := analyze.ReadJSONL(bytes.NewReader(data))
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
@@ -75,14 +83,29 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			os.Exit(1)
 		}
+		sf, err := obs.ReadSlotsJSONL(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
+		kf, err := analyze.ReadKPIJSONL(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
 		hasTrace := len(tr.Spans)+len(tr.Outcomes)+len(tr.Events) > 0
-		if !hasTrace && !fl.HasMeta {
-			fmt.Fprintf(os.Stderr, "%s: no trace or flight records (empty or non-JSONL input)\n", path)
+		if !hasTrace && !fl.HasMeta && !sf.HasMeta && !kf.HasMeta {
+			fmt.Fprintf(os.Stderr, "%s: no trace, flight, slot or kpi records (empty or non-JSONL input)\n", path)
 			os.Exit(1)
 		}
 		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
 		if hasTrace {
 			audits = append(audits, analyze.Run(tr, label, sim.Duration(*deadline)))
+			// Traces carry the outcomes the KPI pass feeds on — render the
+			// per-UE view alongside the feasibility audit.
+			if len(tr.Outcomes) > 0 {
+				kpis = append(kpis, analyze.ComputeKPI(tr, label))
+			}
 		}
 		if fl.HasMeta {
 			if fl.Label == "" {
@@ -90,11 +113,33 @@ func main() {
 			}
 			forensics = append(forensics, fl)
 		}
+		if sf.HasMeta {
+			if sf.Label == "" {
+				sf.Label = label
+			}
+			slotFiles = append(slotFiles, sf)
+		}
+		if kf.HasMeta {
+			if kf.Report.Label == "" {
+				kf.Report.Label = label
+			}
+			kpis = append(kpis, &kf.Report)
+		}
 	}
 
 	writeReport := func(w io.Writer) error {
 		if len(audits) > 0 {
 			if err := analyze.WriteMarkdown(w, audits); err != nil {
+				return err
+			}
+		}
+		for _, rep := range kpis {
+			if err := analyze.WriteKPIMarkdown(w, rep); err != nil {
+				return err
+			}
+		}
+		for _, sf := range slotFiles {
+			if err := obs.WriteSlotsMarkdown(w, sf); err != nil {
 				return err
 			}
 		}
@@ -124,6 +169,18 @@ func main() {
 	}
 	if *breakdownOut != "" {
 		if err := obs.WriteFile(*breakdownOut, func(w io.Writer) error { return analyze.WriteBreakdownCSV(w, audits) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *kpiOut != "" {
+		if err := obs.WriteFile(*kpiOut, func(w io.Writer) error { return analyze.WriteKPICSV(w, kpis) }); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *ccdfOut != "" {
+		if err := obs.WriteFile(*ccdfOut, func(w io.Writer) error { return analyze.WriteCCDFCSV(w, kpis) }); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}

@@ -14,7 +14,11 @@
 // renumbered (analyze.MergeTraces) and per-replica registries merge exactly
 // (counters add, HDR histograms by bucket), so the report is bit-identical
 // for any -parallel value: `-parallel 1` is the golden output of
-// `-parallel N`.
+// `-parallel N`. With -slots-out the per-slot occupancy ledgers of all
+// replicas of a grid point merge by slot boundary (exact integer sums) into
+// one urllcsim-slots/v1 JSONL file under the same invariance contract, and
+// -ues spreads packet attribution across logical UEs (labels only) so the
+// -summary registries carry per-UE counter and latency families.
 package main
 
 import (
@@ -48,8 +52,9 @@ type point struct {
 type replicaOut struct {
 	trace  *analyze.Trace
 	reg    *obs.Registry
-	perf   *prof.Report // engine self-profile; nil unless -perf
-	flight *flight.Set  // promoted tail exemplars; nil unless -flight-out
+	perf   *prof.Report     // engine self-profile; nil unless -perf
+	flight *flight.Set      // promoted tail exemplars; nil unless -flight-out
+	slots  []obs.SlotRecord // per-slot occupancy ledger; nil unless -slots-out
 }
 
 var slotNames = map[string]urllcsim.SlotScale{
@@ -77,29 +82,36 @@ func main() {
 	out := flag.String("out", "", "write the report here instead of stdout")
 	flightOut := flag.String("flight-out", "", "write the merged tail-forensics flight records (JSONL) of every grid point to this file; the merge is bit-identical for any -parallel value")
 	flightTopK := flag.Int("flight-topk", flight.DefaultTopK, "per-direction worst-latency exemplars kept per grid point after the merge")
+	slotsOut := flag.String("slots-out", "", "write the merged per-slot occupancy ledger (JSONL) of every grid point to this file; the merge is bit-identical for any -parallel value")
+	ues := flag.Int("ues", 1, "logical UEs packets are attributed to round-robin (labels only; the schedule is unchanged)")
 	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
 
 	if *showVersion {
-		version.Print(os.Stdout, "urllc-sweep", []string{flight.Schema}, nil)
+		version.Print(os.Stdout, "urllc-sweep", []string{flight.Schema, obs.SlotsSchema}, nil)
 		return
 	}
 
 	if err := run(*patterns, *slots, *grantfree, *radios, *replicas, *packets,
-		*parallel, *seed, *deadline, *summary, *perf, *out, *flightOut, *flightTopK); err != nil {
+		*parallel, *seed, *deadline, *summary, *perf, *out, *flightOut, *flightTopK,
+		*slotsOut, *ues); err != nil {
 		fmt.Fprintln(os.Stderr, "urllc-sweep:", err)
 		os.Exit(1)
 	}
 }
 
 func run(patterns, slots, grantfree, radios string, replicas, packets, parallel int,
-	seed uint64, deadline time.Duration, summary, perf bool, out, flightOut string, flightTopK int) error {
+	seed uint64, deadline time.Duration, summary, perf bool, out, flightOut string, flightTopK int,
+	slotsOut string, ues int) error {
 	grid, err := buildGrid(patterns, slots, grantfree, radios)
 	if err != nil {
 		return err
 	}
 	if replicas < 1 || packets < 1 {
 		return fmt.Errorf("need at least 1 replica and 1 packet")
+	}
+	if ues < 1 {
+		return fmt.Errorf("need at least 1 UE")
 	}
 
 	// One job per (point, replica), flattened so a slow grid point cannot
@@ -108,7 +120,7 @@ func run(patterns, slots, grantfree, radios string, replicas, packets, parallel 
 	// worker layout by construction.
 	runs, err := sweep.Run(parallel, len(grid)*replicas, func(i int) (replicaOut, error) {
 		return runReplica(grid[i/replicas], i, sweep.Seed(seed, i), packets, deadline, perf,
-			flightOut != "", flightTopK)
+			flightOut != "", flightTopK, slotsOut != "", ues)
 	})
 	if err != nil {
 		return err
@@ -117,19 +129,26 @@ func run(patterns, slots, grantfree, radios string, replicas, packets, parallel 
 	var audits []*analyze.Audit
 	var summaries strings.Builder
 	flights := make([]*flight.Set, 0, len(grid))
+	ledgers := make([][]obs.SlotRecord, 0, len(grid))
 	for p, pt := range grid {
 		shard := runs[p*replicas : (p+1)*replicas]
 		traces := make([]*analyze.Trace, len(shard))
 		regs := make([]*obs.Registry, len(shard))
 		sets := make([]*flight.Set, len(shard))
+		slotShards := make([][]obs.SlotRecord, len(shard))
 		for i, r := range shard {
-			traces[i], regs[i], sets[i] = r.trace, r.reg, r.flight
+			traces[i], regs[i], sets[i], slotShards[i] = r.trace, r.reg, r.flight, r.slots
 		}
 		audits = append(audits, analyze.Run(analyze.MergeTraces(traces...), pt.label, sim.Duration(deadline)))
 		if flightOut != "" {
 			// Shard-order merge: exact global top-K, bit-identical for any
 			// -parallel (the same contract as the registries and traces).
 			flights = append(flights, flight.MergeSets(sim.Duration(deadline), flightTopK, sets...))
+		}
+		if slotsOut != "" {
+			// Boundary-keyed integer sums, output sorted by boundary: exact
+			// and bit-identical for any -parallel, like the registries.
+			ledgers = append(ledgers, obs.MergeSlotLedgers(slotShards...))
 		}
 		if summary {
 			fmt.Fprintf(&summaries, "\n## Merged registry — %s (%d replicas)\n\n```\n%s```\n",
@@ -141,6 +160,20 @@ func run(patterns, slots, grantfree, radios string, replicas, packets, parallel 
 		err := obs.WriteFile(flightOut, func(w io.Writer) error {
 			for p, set := range flights {
 				if err := flight.WriteJSONL(w, set, grid[p].label); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			return err
+		}
+	}
+
+	if slotsOut != "" {
+		err := obs.WriteFile(slotsOut, func(w io.Writer) error {
+			for p, merged := range ledgers {
+				if err := obs.WriteSlotsJSONL(w, merged, grid[p].label); err != nil {
 					return err
 				}
 			}
@@ -223,8 +256,11 @@ func perfSection(grid []point, runs []replicaOut, replicas int) string {
 // packets offered uniformly in each direction, and returns the trace and
 // registry for the shard-ordered merge.
 func runReplica(pt point, shard int, seed uint64, packets int, deadline time.Duration,
-	perf bool, withFlight bool, flightTopK int) (replicaOut, error) {
+	perf bool, withFlight bool, flightTopK int, withSlots bool, ues int) (replicaOut, error) {
 	rec := obs.NewRecorder()
+	if withSlots {
+		rec.EnableSlotLedger()
+	}
 	// The flight recorder rides the replica's span/edge/outcome streams via
 	// the tap; it observes only, so the merged audit is unchanged by it.
 	var fr *flight.Recorder
@@ -258,13 +294,18 @@ func runReplica(pt point, shard int, seed uint64, packets int, deadline time.Dur
 	rng := sim.NewRNG(seed ^ 0x5EED)
 	for i := 0; i < packets; i++ {
 		at := time.Duration(i)*spacing + time.Duration(rng.UniformDuration(0, sim.Duration(spacing)))
-		sc.SendUplink(at, 32)
-		sc.SendDownlink(at, 32)
+		// Round-robin UE attribution is labels-only: the offered schedule,
+		// RNG draws and merged audit are identical for any -ues value.
+		sc.SendUplinkFrom(i%ues, at, 32)
+		sc.SendDownlinkFrom(i%ues, at, 32)
 	}
 	sc.Run(time.Duration(packets+60) * spacing)
 	out := replicaOut{trace: analyze.FromRecorder(rec), reg: rec.Metrics()}
 	if fr != nil {
 		out.flight = fr.Set()
+	}
+	if withSlots {
+		out.slots = rec.Slots()
 	}
 	if profiler != nil {
 		out.perf = profiler.Finish()

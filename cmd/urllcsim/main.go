@@ -17,6 +17,7 @@ import (
 	"urllcsim"
 	"urllcsim/internal/bench"
 	"urllcsim/internal/obs"
+	"urllcsim/internal/obs/analyze"
 	"urllcsim/internal/obs/flight"
 	"urllcsim/internal/obs/prof"
 	"urllcsim/internal/sim"
@@ -40,6 +41,8 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry summary as CSV to this file")
 	snapshotsOut := flag.String("snapshots-out", "", "write per-slot counter/gauge snapshots as CSV to this file")
 	jsonlOut := flag.String("jsonl-out", "", "write the span/outcome/event trace as JSONL to this file (input for urllc-report)")
+	slotsOut := flag.String("slots-out", "", "write the per-tick slot-occupancy ledger as JSONL (urllcsim-slots/v1; input for urllc-report) to this file")
+	kpiOut := flag.String("kpi-out", "", "write per-UE KPIs (AoI, fairness, reliability CCDF) as JSONL (urllcsim-kpi/v1; input for urllc-report) to this file")
 	serve := flag.String("serve", "", "serve live telemetry on this address (e.g. :9090): /metrics Prometheus text, /debug/vars expvar, /debug/pprof; keeps serving after the run until interrupted")
 	profOut := flag.String("prof-out", "", "self-profile the engine and write the JSONL 'profile' record here; the top-event-types table goes to stderr (stdout stays byte-identical)")
 	flightOut := flag.String("flight-out", "", "write tail-forensics flight records (JSONL, one per deadline miss/loss/top-K worst packet, with the reconstructed causal chain) to this file")
@@ -55,7 +58,8 @@ func main() {
 
 	if *showVersion {
 		version.Print(os.Stdout, "urllcsim",
-			[]string{obs.TraceSchema, flight.Schema, flight.AnomalySchema, prof.ReportSchema},
+			[]string{obs.TraceSchema, obs.SlotsSchema, analyze.KPISchema,
+				flight.Schema, flight.AnomalySchema, prof.ReportSchema},
 			[]string{bench.Schema + " (via -watchdog-baseline)"})
 		return
 	}
@@ -85,14 +89,17 @@ func main() {
 	wantFlight := *flightOut != "" || *flightTraceOut != ""
 	var rec *obs.Recorder
 	if *traceOut != "" || *metricsOut != "" || *snapshotsOut != "" || *jsonlOut != "" || *serve != "" ||
-		wantFlight || wantWatchdog {
+		*slotsOut != "" || *kpiOut != "" || wantFlight || wantWatchdog {
 		rec = obs.NewRecorder()
 	}
-	// Only the full-trace exports need retained spans/outcomes; a
-	// flight/watchdog/metrics-only run keeps the recorder's memory bounded by
-	// the ring, not the run length.
-	if *traceOut == "" && *jsonlOut == "" {
-		rec.SetRetention(false, false)
+	// Only the full-trace exports need retained spans; the KPI pass needs
+	// outcomes but not spans. Everything else keeps the recorder's memory
+	// bounded by the ring, not the run length.
+	keepSpans := *traceOut != "" || *jsonlOut != ""
+	keepOutcomes := keepSpans || *kpiOut != ""
+	rec.SetRetention(keepSpans, keepOutcomes)
+	if *slotsOut != "" {
+		rec.EnableSlotLedger()
 	}
 
 	// Taps ride the span/outcome/edge streams without retaining them.
@@ -170,11 +177,15 @@ func main() {
 	period := 2 * time.Millisecond
 	for i := 0; i < *packets; i++ {
 		at := time.Duration(i) * period
+		// Round-robin attribution across the -ues population. Attribution is
+		// label-only (it changes no scheduling or channel decision), so the
+		// stdout report is byte-identical with any spread.
+		ue := i % *ues
 		if *dir == "ul" || *dir == "both" {
-			sc.SendUplink(at+137*time.Microsecond, *bytes)
+			sc.SendUplinkFrom(ue, at+137*time.Microsecond, *bytes)
 		}
 		if *dir == "dl" || *dir == "both" {
-			sc.SendDownlink(at+731*time.Microsecond, *bytes)
+			sc.SendDownlinkFrom(ue, at+731*time.Microsecond, *bytes)
 		}
 	}
 	results := sc.Run(time.Duration(*packets+50) * period)
@@ -213,6 +224,11 @@ func main() {
 		{*metricsOut, func(w io.Writer) error { return obs.WriteMetricsCSV(w, rec.Metrics()) }},
 		{*snapshotsOut, func(w io.Writer) error { return obs.WriteSnapshotsCSV(w, rec.Metrics()) }},
 		{*jsonlOut, func(w io.Writer) error { return obs.WriteJSONL(w, rec) }},
+		{*slotsOut, func(w io.Writer) error { return obs.WriteSlotsJSONL(w, rec.Slots(), flightLabel) }},
+		{*kpiOut, func(w io.Writer) error {
+			rep := analyze.ComputeKPI(analyze.FromRecorder(rec), flightLabel)
+			return analyze.WriteKPIJSONL(w, rep)
+		}},
 		{*flightOut, func(w io.Writer) error {
 			if err := flight.WriteJSONL(w, flightSet, flightLabel); err != nil {
 				return err

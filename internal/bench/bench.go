@@ -96,6 +96,16 @@ func Suite() []Benchmark {
 			F:    obsDisabled,
 		},
 		{
+			Name: "LabeledRegistry",
+			Desc: "labeled-family hot path (CountIn/GaugeIn/ObserveIn over 8 UEs), enabled",
+			F:    labeledRegistry,
+		},
+		{
+			Name: "LabeledDisabled",
+			Desc: "labeled-family hot path with a nil recorder (must stay ~free)",
+			F:    labeledDisabled,
+		},
+		{
 			Name: "FlightRecorderOverhead",
 			Desc: "full-stack scenario with the flight recorder tapped in (vs ScenarioThroughput)",
 			F:    flightRecorderOverhead,
@@ -299,6 +309,43 @@ func flightRecorderOverhead(b *testing.B) {
 		b.Fatalf("flight recorder resolved %d/%d", st.Resolved, b.N)
 	}
 	b.ReportMetric(float64(sc.Engine().Steps())/b.Elapsed().Seconds(), "events/sec")
+}
+
+// labeledRegistry measures the dimensional hot path: the per-UE counter,
+// gauge and histogram family updates the node layer performs per packet and
+// per tick. Keys are small structs, so steady state (all rows allocated)
+// should be a map lookup plus the instrument update, no label-string
+// building.
+func labeledRegistry(b *testing.B) {
+	b.ReportAllocs()
+	const n, ues = 1024, 8
+	for i := 0; i < b.N; i++ {
+		rec := obs.NewRecorder()
+		for j := 0; j < n; j++ {
+			ue := j % ues
+			obs.CountIn(rec, "pkt.by_ue", obs.PktEvent{UE: ue, Dir: obs.DirUL, Event: "delivered"}, 1)
+			obs.GaugeIn(rec, "slot.ue_dl_take_bytes", obs.UEKey{UE: ue}, float64(j))
+			obs.ObserveIn(rec, "lat.by_ue", obs.UEDir{UE: ue, Dir: obs.DirUL}, sim.Duration(j)*sim.Microsecond)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n*3/b.Elapsed().Seconds(), "records/sec")
+}
+
+// labeledDisabled is the same sequence against a nil recorder: the per-packet
+// cost every unlabeled run pays for the dimensional layer existing.
+func labeledDisabled(b *testing.B) {
+	b.ReportAllocs()
+	const n, ues = 1024, 8
+	var rec *obs.Recorder
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < n; j++ {
+			ue := j % ues
+			obs.CountIn(rec, "pkt.by_ue", obs.PktEvent{UE: ue, Dir: obs.DirUL, Event: "delivered"}, 1)
+			obs.GaugeIn(rec, "slot.ue_dl_take_bytes", obs.UEKey{UE: ue}, float64(j))
+			obs.ObserveIn(rec, "lat.by_ue", obs.UEDir{UE: ue, Dir: obs.DirUL}, sim.Duration(j)*sim.Microsecond)
+		}
+	}
+	b.ReportMetric(float64(b.N)*n*3/b.Elapsed().Seconds(), "records/sec")
 }
 
 // obsDisabled measures the same call sequence against a nil recorder: the

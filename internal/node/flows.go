@@ -1,6 +1,8 @@
 package node
 
 import (
+	"sort"
+
 	"urllcsim/internal/core"
 	"urllcsim/internal/metrics"
 	"urllcsim/internal/nr"
@@ -35,6 +37,20 @@ const (
 	tRLCQueueWait = "gnb.rlc_queue_wait"
 )
 
+// Labeled metric families: the per-UE/per-direction dimension of the flat
+// names above. fPktByUE counts packet fates keyed (ue, dir, event); fLatByUE
+// holds per-(ue, dir) delivered-latency HDR histograms — the inputs to the
+// per-UE KPI pass (AoI, fairness, reliability CCDF). fSlotDLTake and
+// fSlotULGrant gauge each UE's take of the most recent scheduling tick and
+// are stamped only when the slot ledger is enabled, keeping the default hot
+// path free of per-tick family traffic.
+const (
+	fPktByUE     = "pkt.by_ue"
+	fLatByUE     = "lat.by_ue"
+	fSlotDLTake  = "slot.ue_dl_take_bytes"
+	fSlotULGrant = "slot.ue_ul_grant_bytes"
+)
+
 // missCounter attributes a deadline miss to the journey's dominant latency
 // source, one counter per Fig. 3 category.
 var missCounter = [core.NumSources]string{
@@ -43,19 +59,27 @@ var missCounter = [core.NumSources]string{
 	core.Radio:      "budget.miss.radio",
 }
 
-// audit emits the packet's obs.Outcome and, when a deadline is configured,
-// its verdict against the one-way budget.
-func (s *System) audit(id int, dir obs.Dir, ok bool, lat sim.Duration, attempts int, bd *core.Breakdown) {
-	s.obs.Outcome(obs.Outcome{Packet: id, Dir: dir, Delivered: ok, Latency: lat, Attempts: attempts, End: s.Eng.Now()})
+// audit emits the packet's obs.Outcome, its per-UE labeled samples and, when
+// a deadline is configured, its verdict against the one-way budget.
+func (s *System) audit(id, ue int, dir obs.Dir, ok bool, lat sim.Duration, attempts int, bd *core.Breakdown) {
+	s.obs.Outcome(obs.Outcome{Packet: id, UE: ue, Dir: dir, Delivered: ok, Latency: lat, Attempts: attempts, End: s.Eng.Now()})
+	if ok {
+		obs.CountIn(s.obs, fPktByUE, obs.PktEvent{UE: ue, Dir: dir, Event: "delivered"}, 1)
+		obs.ObserveIn(s.obs, fLatByUE, obs.UEDir{UE: ue, Dir: dir}, lat)
+	} else {
+		obs.CountIn(s.obs, fPktByUE, obs.PktEvent{UE: ue, Dir: dir, Event: "lost"}, 1)
+	}
 	if s.cfg.Deadline <= 0 {
 		return
 	}
 	if ok && lat <= s.cfg.Deadline {
 		s.obs.Count(cDeadlineMet, 1)
+		obs.CountIn(s.obs, fPktByUE, obs.PktEvent{UE: ue, Dir: dir, Event: "deadline_met"}, 1)
 		return
 	}
 	s.obs.Count(cDeadlineMiss, 1)
 	s.obs.Count(missCounter[bd.Dominant()], 1)
+	obs.CountIn(s.obs, fPktByUE, obs.PktEvent{UE: ue, Dir: dir, Event: "deadline_miss"}, 1)
 }
 
 // gnbTimingName / ueTimingName map a processing layer to its obs timing
@@ -143,7 +167,11 @@ func (s *System) tick(b sim.Time) {
 	// Assemble the scheduler's view of the DL RLC queue.
 	var items []sched.DLItem
 	for _, q := range s.gnbRLC.Peek() {
-		items = append(items, sched.DLItem{ID: q.ID, UE: 0, Bytes: len(q.Data), EnqueuedAt: q.EnqueuedAt})
+		ue := 0
+		if p := s.dlItems[q.ID]; p != nil {
+			ue = p.ue
+		}
+		items = append(items, sched.DLItem{ID: q.ID, UE: ue, Bytes: len(q.Data), EnqueuedAt: q.EnqueuedAt})
 	}
 	s.obs.SetGauge(gRLCQueueDepth, float64(len(items)))
 	plan := s.sch.Tick(b, items)
@@ -174,10 +202,60 @@ func (s *System) tick(b sim.Time) {
 		s.deliverGrant(plan.TargetDL, g)
 	}
 	s.obs.SetGauge(gSRPending, float64(s.sch.PendingSRs()))
+	if s.obs.SlotLedgerEnabled() {
+		s.stampSlot(b, plan, len(items))
+	}
 	// Snapshot the whole registry once per scheduling tick: the snapshot
 	// series is slot-aligned by construction.
 	s.obs.SlotSnapshot(b)
 	s.scheduleTick(s.cfg.Grid.NextSchedBoundary(b))
+}
+
+// stampSlot turns one scheduling plan into a slot-ledger record and the
+// per-UE take gauges. Only called when the ledger is enabled, so default
+// runs pay a single bool check per tick.
+func (s *System) stampSlot(b sim.Time, plan sched.Plan, queueDepth int) {
+	rec := obs.SlotRecord{
+		Boundary:     b,
+		TargetDL:     plan.TargetDL,
+		DLCapBytes:   plan.DLCapBytes,
+		DLUsedBytes:  plan.DLUsedBytes,
+		QueueDepth:   queueDepth,
+		QueueTaken:   len(plan.DLPlanned),
+		GrantsIssued: len(plan.ULGrants),
+		SRsPending:   s.sch.PendingSRs(),
+		SRsDeferred:  plan.SRsDeferred,
+	}
+	take := map[int]*obs.SlotUETake{}
+	var order []int
+	at := func(ue int) *obs.SlotUETake {
+		t, ok := take[ue]
+		if !ok {
+			t = &obs.SlotUETake{UE: ue}
+			take[ue] = t
+			order = append(order, ue)
+		}
+		return t
+	}
+	for _, a := range plan.DLAllocs {
+		t := at(a.UE)
+		t.DLBytes += a.Bytes
+		t.DLItems += len(a.ItemIDs)
+	}
+	for _, g := range plan.ULGrants {
+		rec.ULGrantBytes += g.Bytes
+		t := at(g.UE)
+		t.ULBytes += g.Bytes
+		t.ULGrants++
+	}
+	sort.Ints(order)
+	for _, ue := range order {
+		t := take[ue]
+		rec.PerUE = append(rec.PerUE, *t)
+		obs.GaugeIn(s.obs, fSlotDLTake, obs.UEKey{UE: ue}, float64(t.DLBytes))
+		obs.GaugeIn(s.obs, fSlotULGrant, obs.UEKey{UE: ue}, float64(t.ULBytes))
+	}
+	s.obs.Slot(rec)
 }
 
 // ---------------------------------------------------------------------------
@@ -187,9 +265,16 @@ func (s *System) tick(b sim.Time) {
 // OfferDL injects one DL application packet at the UPF at time at. The
 // result callback fires on delivery or loss.
 func (s *System) OfferDL(at sim.Time, payload []byte) int {
+	return s.OfferDLAs(0, at, payload)
+}
+
+// OfferDLAs is OfferDL with the packet attributed to logical UE ue — label
+// only, like OfferULAs: scheduling, channel draws and processing load are
+// unchanged by the attribution.
+func (s *System) OfferDLAs(ue int, at sim.Time, payload []byte) int {
 	id := s.nextID
 	s.nextID++
-	p := &dlPacket{id: id, data: payload, offered: at, bd: &core.Breakdown{}}
+	p := &dlPacket{id: id, ue: ue, data: payload, offered: at, bd: &core.Breakdown{}}
 	s.dlItems[id] = p
 	s.Eng.Schedule(at, "dl.offer", func() {
 		// UPF encapsulation and N3 forwarding.
@@ -455,5 +540,5 @@ func (s *System) finishDL(p *dlPacket, at sim.Time, ok bool) {
 		ID: p.id, Uplink: false, Delivered: ok,
 		Latency: lat, Breakdown: *p.bd, Attempts: p.attempts + 1,
 	})
-	s.audit(p.id, obs.DirDL, ok, lat, p.attempts+1, p.bd)
+	s.audit(p.id, p.ue, obs.DirDL, ok, lat, p.attempts+1, p.bd)
 }

@@ -212,6 +212,7 @@ type System struct {
 
 type dlPacket struct {
 	id       int
+	ue       int    // logical UE this packet belongs to (attribution only)
 	data     []byte // application bytes
 	offered  sim.Time
 	enqueued sim.Time // RLC queue entry (RLC-q starts here)

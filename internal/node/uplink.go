@@ -17,6 +17,7 @@ const ulKind = nr.SymUL
 // ulPacket tracks one UL packet through SR/grant/transmission.
 type ulPacket struct {
 	id       int
+	ue       int // logical UE this packet belongs to (attribution only)
 	data     []byte
 	offered  sim.Time
 	ready    sim.Time // UE stack done, data in UE RLC queue
@@ -27,9 +28,17 @@ type ulPacket struct {
 
 // OfferUL injects one UL application packet at the UE at time at.
 func (s *System) OfferUL(at sim.Time, payload []byte) int {
+	return s.OfferULAs(0, at, payload)
+}
+
+// OfferULAs is OfferUL with the packet attributed to logical UE ue. The UE
+// id labels metrics, outcomes and the slot ledger; it does not change any
+// scheduling or channel decision (processing load scales with Config.NUEs),
+// so a run's aggregate results are identical however packets are attributed.
+func (s *System) OfferULAs(ue int, at sim.Time, payload []byte) int {
 	id := s.nextID
 	s.nextID++
-	p := &ulPacket{id: id, data: payload, offered: at, bd: &core.Breakdown{}}
+	p := &ulPacket{id: id, ue: ue, data: payload, offered: at, bd: &core.Breakdown{}}
 	s.Eng.Schedule(at, "ul.offer", func() {
 		// ① UE APP↓: SDAP/PDCP/RLC processing before the MAC can act.
 		d := s.sampleUE(proc.LayerSDAP) + s.sampleUE(proc.LayerPDCP) + s.sampleUE(proc.LayerRLC)
@@ -73,7 +82,7 @@ func (s *System) ulSendSR(p *ulPacket) {
 	s.Eng.Schedule(recvAt, "ul.sr.recv", func() {
 		p.srRecvAt = recvAt
 		s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeSRReceived, Time: recvAt})
-		s.sch.OnSR(sched.SRRequest{UE: 0, RecvAt: recvAt, Bytes: len(p.data) + 64})
+		s.sch.OnSR(sched.SRRequest{UE: p.ue, RecvAt: recvAt, Bytes: len(p.data) + 64})
 		s.pendingSRPackets = append(s.pendingSRPackets, p)
 	})
 }
@@ -108,7 +117,7 @@ func (s *System) deliverGrant(targetDL sim.Time, g sched.Grant) {
 // slot after the UE's preparation lead.
 func (s *System) ulTransmitOnGrantFree(p *ulPacket) {
 	lead := s.sampleUE(proc.LayerMAC) + s.sampleUE(proc.LayerPHY)
-	g, ok := s.sch.ConfiguredGrant(0, p.ready.Add(lead))
+	g, ok := s.sch.ConfiguredGrant(p.ue, p.ready.Add(lead))
 	if !ok {
 		s.finishUL(p, p.ready, false)
 		return
@@ -129,7 +138,7 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 	if now := s.Eng.Now(); slotStart < now {
 		// The granted slot already passed (pathological margins): fall
 		// forward to the next UL opportunity.
-		if g, ok := s.sch.ConfiguredGrant(0, now); ok {
+		if g, ok := s.sch.ConfiguredGrant(p.ue, now); ok {
 			slotStart = g.SlotStart
 		} else {
 			s.finishUL(p, now, false)
@@ -277,6 +286,6 @@ func (s *System) finishUL(p *ulPacket, at sim.Time, ok bool) {
 		ID: p.id, Uplink: true, Delivered: ok,
 		Latency: lat, Breakdown: *p.bd, Attempts: p.attempts + 1,
 	})
-	s.audit(p.id, obs.DirUL, ok, lat, p.attempts+1, p.bd)
+	s.audit(p.id, p.ue, obs.DirUL, ok, lat, p.attempts+1, p.bd)
 	s.onULDelivered(p.id, at, ok)
 }

@@ -1,0 +1,542 @@
+package analyze
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"urllcsim/internal/metrics"
+	"urllcsim/internal/obs"
+)
+
+// The KPI pass turns per-packet outcomes into the per-UE indicators the
+// URLLC literature reports alongside raw latency: Age of Information (how
+// stale the freshest delivered sample is, the metric that exposes schedulers
+// which are fast on average but starve individual flows), Jain's fairness
+// index over per-UE throughput and latency, and reliability CCDF curves —
+// P(latency > t) down to the 1e-5 regime the paper's "five nines" target
+// lives in. Everything is computed from obs.Outcome records, so the pass
+// runs identically in-process (straight off a Recorder) and offline (off a
+// re-ingested urllcsim-trace/v1 file).
+
+// KPISchema versions the KPI JSONL dialect. Its meta line uses kind
+// "kpi_meta" so trace readers skip KPI files instead of rejecting them.
+const KPISchema = "urllcsim-kpi/v1"
+
+// UEKPI is one UE's indicators in one direction. Times are µs, the paper's
+// unit.
+type UEKPI struct {
+	UE        int
+	Dir       obs.Dir
+	Delivered int
+	Lost      int
+	// Reliability is delivered/(delivered+lost).
+	Reliability float64
+	MeanUs      float64
+	P50Us       float64
+	P99Us       float64
+	MaxUs       float64
+	// Age of Information over the delivered sequence (sawtooth between
+	// generation instants and delivery instants). HasAoI is false when the
+	// trace predates outcome End stamps or the UE delivered nothing.
+	HasAoI    bool
+	AoIPeakUs float64
+	AoIMeanUs float64
+}
+
+// CCDFPoint is one point of a reliability curve: P(latency > LeUs).
+type CCDFPoint struct {
+	LeUs float64
+	CCDF float64
+}
+
+// DirKPI aggregates one direction across UEs.
+type DirKPI struct {
+	Dir       obs.Dir
+	UEs       int
+	Delivered int
+	Lost      int
+	// JainThroughput is Jain's fairness index over per-UE delivered counts;
+	// JainLatency over per-UE mean latencies (UEs with no deliveries are
+	// excluded from the latency index). 1.0 is perfectly fair.
+	JainThroughput float64
+	JainLatency    float64
+	// CCDF is the direction's reliability curve, one point per occupied
+	// latency bucket, ascending in LeUs.
+	CCDF []CCDFPoint
+}
+
+// KPIReport is the full KPI pass output.
+type KPIReport struct {
+	Label string
+	UEs   []UEKPI
+	Dirs  []DirKPI
+}
+
+// jain computes Jain's fairness index (Σx)²/(n·Σx²); 1 when all x equal,
+// →1/n under maximal skew. By convention an all-zero (or empty) population
+// is perfectly fair.
+func jain(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 1
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 1
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}
+
+// aoiDelivery is one delivered packet on the AoI timeline.
+type aoiDelivery struct {
+	gen, at float64 // generation and delivery instants, µs
+}
+
+// computeAoI walks the delivery sequence as an AoI sawtooth: the age at the
+// destination grows linearly and drops to (delivery − generation) whenever a
+// fresher sample arrives. Deliveries carrying stale information (generated
+// before the freshest already-delivered sample) do not reset the age.
+// Returns peak age, time-averaged age and ok=false when no informative
+// delivery exists.
+func computeAoI(ds []aoiDelivery) (peakUs, meanUs float64, ok bool) {
+	sort.Slice(ds, func(i, j int) bool {
+		if ds[i].at != ds[j].at {
+			return ds[i].at < ds[j].at
+		}
+		return ds[i].gen < ds[j].gen
+	})
+	first := true
+	var lastGen, lastAt, integral float64
+	for _, d := range ds {
+		if d.at <= d.gen {
+			continue // malformed (zero-latency or negative) — skip
+		}
+		if first {
+			peakUs = d.at - d.gen
+			lastGen, lastAt = d.gen, d.at
+			first = false
+			continue
+		}
+		if d.gen <= lastGen {
+			continue // stale sample: age does not reset
+		}
+		// Age just before this delivery: time since the previous freshest
+		// sample was generated.
+		preAge := d.at - lastGen
+		if preAge > peakUs {
+			peakUs = preAge
+		}
+		// Sawtooth area between the two deliveries: age ramps from
+		// (lastAt − lastGen) to preAge.
+		lo := lastAt - lastGen
+		integral += (preAge*preAge - lo*lo) / 2
+		lastGen, lastAt = d.gen, d.at
+	}
+	if first {
+		return 0, 0, false
+	}
+	if span := lastAt - (ds[0].at); span > 0 && integral > 0 {
+		meanUs = integral / span
+	} else {
+		// Single informative delivery: the only age ever observed is its
+		// own latency.
+		meanUs = peakUs
+	}
+	return peakUs, meanUs, true
+}
+
+// ueDirKey groups outcomes.
+type ueDirKey struct {
+	dir obs.Dir
+	ue  int
+}
+
+// ComputeKPI runs the KPI pass over a trace. Outcomes are grouped by
+// (direction, UE); ordering of the output is (direction, UE) ascending, so
+// the report is deterministic for any outcome order in the input.
+func ComputeKPI(tr *Trace, label string) *KPIReport {
+	rep := &KPIReport{Label: label}
+
+	type group struct {
+		delivered, lost int
+		hist            *metrics.LogHistogram
+		aoi             []aoiDelivery
+	}
+	groups := map[ueDirKey]*group{}
+	dirHist := map[obs.Dir]*metrics.LogHistogram{}
+	var keys []ueDirKey
+	for _, o := range tr.Outcomes {
+		k := ueDirKey{dir: o.Dir, ue: o.UE}
+		g, ok := groups[k]
+		if !ok {
+			g = &group{hist: metrics.NewLogHistogram()}
+			groups[k] = g
+			keys = append(keys, k)
+		}
+		if !o.Delivered {
+			g.lost++
+			continue
+		}
+		g.delivered++
+		g.hist.AddDuration(o.Latency)
+		dh := dirHist[o.Dir]
+		if dh == nil {
+			dh = metrics.NewLogHistogram()
+			dirHist[o.Dir] = dh
+		}
+		dh.AddDuration(o.Latency)
+		if o.End > 0 {
+			end := o.End.Micros()
+			g.aoi = append(g.aoi, aoiDelivery{gen: end - float64(o.Latency)/1000, at: end})
+		}
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].dir != keys[j].dir {
+			return keys[i].dir < keys[j].dir
+		}
+		return keys[i].ue < keys[j].ue
+	})
+
+	perDir := map[obs.Dir]*DirKPI{}
+	var dirOrder []obs.Dir
+	var thrByDir = map[obs.Dir][]float64{}
+	var latByDir = map[obs.Dir][]float64{}
+	for _, k := range keys {
+		g := groups[k]
+		u := UEKPI{
+			UE: k.ue, Dir: k.dir, Delivered: g.delivered, Lost: g.lost,
+		}
+		if total := g.delivered + g.lost; total > 0 {
+			u.Reliability = float64(g.delivered) / float64(total)
+		}
+		if g.delivered > 0 {
+			u.MeanUs = g.hist.Mean() / 1000
+			u.P50Us = float64(g.hist.Quantile(0.5)) / 1000
+			u.P99Us = float64(g.hist.Quantile(0.99)) / 1000
+			u.MaxUs = float64(g.hist.Max()) / 1000
+		}
+		if peak, mean, ok := computeAoI(g.aoi); ok {
+			u.HasAoI, u.AoIPeakUs, u.AoIMeanUs = true, peak, mean
+		}
+		rep.UEs = append(rep.UEs, u)
+
+		d, ok := perDir[k.dir]
+		if !ok {
+			d = &DirKPI{Dir: k.dir}
+			perDir[k.dir] = d
+			dirOrder = append(dirOrder, k.dir)
+		}
+		d.UEs++
+		d.Delivered += g.delivered
+		d.Lost += g.lost
+		thrByDir[k.dir] = append(thrByDir[k.dir], float64(g.delivered))
+		if g.delivered > 0 {
+			latByDir[k.dir] = append(latByDir[k.dir], u.MeanUs)
+		}
+	}
+	sort.Slice(dirOrder, func(i, j int) bool { return dirOrder[i] < dirOrder[j] })
+	for _, dir := range dirOrder {
+		d := perDir[dir]
+		d.JainThroughput = jain(thrByDir[dir])
+		d.JainLatency = jain(latByDir[dir])
+		if h := dirHist[dir]; h != nil && h.N() > 0 {
+			n := float64(h.N())
+			h.Buckets(func(upperNs, cum int64) {
+				d.CCDF = append(d.CCDF, CCDFPoint{
+					LeUs: float64(upperNs) / 1000,
+					CCDF: (n - float64(cum)) / n,
+				})
+			})
+		}
+		rep.Dirs = append(rep.Dirs, *d)
+	}
+	return rep
+}
+
+// ---------------------------------------------------------------------------
+// urllcsim-kpi/v1 JSONL dialect.
+// ---------------------------------------------------------------------------
+
+type jsonKPIMeta struct {
+	Kind   string `json:"kind"` // "kpi_meta"
+	Schema string `json:"schema"`
+	Label  string `json:"label,omitempty"`
+}
+
+type jsonUEKPI struct {
+	Kind        string  `json:"kind"` // "ue_kpi"
+	UE          int     `json:"ue"`
+	Dir         string  `json:"dir"`
+	Delivered   int     `json:"delivered"`
+	Lost        int     `json:"lost"`
+	Reliability float64 `json:"reliability"`
+	MeanUs      float64 `json:"mean_us"`
+	P50Us       float64 `json:"p50_us"`
+	P99Us       float64 `json:"p99_us"`
+	MaxUs       float64 `json:"max_us"`
+	HasAoI      bool    `json:"has_aoi"`
+	AoIPeakUs   float64 `json:"aoi_peak_us,omitempty"`
+	AoIMeanUs   float64 `json:"aoi_mean_us,omitempty"`
+}
+
+type jsonDirKPI struct {
+	Kind           string  `json:"kind"` // "kpi_dir"
+	Dir            string  `json:"dir"`
+	UEs            int     `json:"ues"`
+	Delivered      int     `json:"delivered"`
+	Lost           int     `json:"lost"`
+	JainThroughput float64 `json:"jain_throughput"`
+	JainLatency    float64 `json:"jain_latency"`
+}
+
+type jsonCCDF struct {
+	Kind string  `json:"kind"` // "ccdf"
+	Dir  string  `json:"dir"`
+	LeUs float64 `json:"le_us"`
+	CCDF float64 `json:"ccdf"`
+}
+
+// WriteKPIJSONL writes a KPI report as one urllcsim-kpi/v1 JSONL stream:
+// kpi_meta, then ue_kpi rows, then kpi_dir rows, then ccdf points.
+func WriteKPIJSONL(w io.Writer, rep *KPIReport) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonKPIMeta{Kind: "kpi_meta", Schema: KPISchema, Label: rep.Label}); err != nil {
+		return err
+	}
+	for _, u := range rep.UEs {
+		if err := enc.Encode(jsonUEKPI{
+			Kind: "ue_kpi", UE: u.UE, Dir: u.Dir.String(),
+			Delivered: u.Delivered, Lost: u.Lost, Reliability: u.Reliability,
+			MeanUs: u.MeanUs, P50Us: u.P50Us, P99Us: u.P99Us, MaxUs: u.MaxUs,
+			HasAoI: u.HasAoI, AoIPeakUs: u.AoIPeakUs, AoIMeanUs: u.AoIMeanUs,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, d := range rep.Dirs {
+		if err := enc.Encode(jsonDirKPI{
+			Kind: "kpi_dir", Dir: d.Dir.String(), UEs: d.UEs,
+			Delivered: d.Delivered, Lost: d.Lost,
+			JainThroughput: d.JainThroughput, JainLatency: d.JainLatency,
+		}); err != nil {
+			return err
+		}
+	}
+	for _, d := range rep.Dirs {
+		for _, p := range d.CCDF {
+			if err := enc.Encode(jsonCCDF{Kind: "ccdf", Dir: d.Dir.String(), LeUs: p.LeUs, CCDF: p.CCDF}); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// KPIFile is a re-ingested KPI JSONL stream.
+type KPIFile struct {
+	HasMeta bool
+	Report  KPIReport
+}
+
+// ReadKPIJSONL parses a KPI stream written by WriteKPIJSONL. Unknown kinds
+// are skipped; an unknown KPI schema version is a one-line error.
+func ReadKPIJSONL(r io.Reader) (*KPIFile, error) {
+	f := &KPIFile{}
+	dirIdx := map[obs.Dir]int{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var head struct {
+			Kind   string `json:"kind"`
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			return nil, fmt.Errorf("kpi: line %d: %w", lineNo, err)
+		}
+		switch head.Kind {
+		case "kpi_meta":
+			if head.Schema != KPISchema {
+				return nil, fmt.Errorf("kpi: line %d: unsupported kpi schema %q (this reader speaks %q)",
+					lineNo, head.Schema, KPISchema)
+			}
+			var meta jsonKPIMeta
+			if err := json.Unmarshal(line, &meta); err != nil {
+				return nil, fmt.Errorf("kpi: line %d: %w", lineNo, err)
+			}
+			f.HasMeta = true
+			if f.Report.Label == "" {
+				f.Report.Label = meta.Label
+			}
+		case "ue_kpi":
+			var ju jsonUEKPI
+			if err := json.Unmarshal(line, &ju); err != nil {
+				return nil, fmt.Errorf("kpi: line %d: %w", lineNo, err)
+			}
+			dir, ok := obs.ParseDir(ju.Dir)
+			if !ok {
+				return nil, fmt.Errorf("kpi: line %d: unknown dir %q", lineNo, ju.Dir)
+			}
+			f.Report.UEs = append(f.Report.UEs, UEKPI{
+				UE: ju.UE, Dir: dir, Delivered: ju.Delivered, Lost: ju.Lost,
+				Reliability: ju.Reliability, MeanUs: ju.MeanUs, P50Us: ju.P50Us,
+				P99Us: ju.P99Us, MaxUs: ju.MaxUs,
+				HasAoI: ju.HasAoI, AoIPeakUs: ju.AoIPeakUs, AoIMeanUs: ju.AoIMeanUs,
+			})
+		case "kpi_dir":
+			var jd jsonDirKPI
+			if err := json.Unmarshal(line, &jd); err != nil {
+				return nil, fmt.Errorf("kpi: line %d: %w", lineNo, err)
+			}
+			dir, ok := obs.ParseDir(jd.Dir)
+			if !ok {
+				return nil, fmt.Errorf("kpi: line %d: unknown dir %q", lineNo, jd.Dir)
+			}
+			dirIdx[dir] = len(f.Report.Dirs)
+			f.Report.Dirs = append(f.Report.Dirs, DirKPI{
+				Dir: dir, UEs: jd.UEs, Delivered: jd.Delivered, Lost: jd.Lost,
+				JainThroughput: jd.JainThroughput, JainLatency: jd.JainLatency,
+			})
+		case "ccdf":
+			var jc jsonCCDF
+			if err := json.Unmarshal(line, &jc); err != nil {
+				return nil, fmt.Errorf("kpi: line %d: %w", lineNo, err)
+			}
+			dir, ok := obs.ParseDir(jc.Dir)
+			if !ok {
+				return nil, fmt.Errorf("kpi: line %d: unknown dir %q", lineNo, jc.Dir)
+			}
+			i, ok := dirIdx[dir]
+			if !ok {
+				dirIdx[dir] = len(f.Report.Dirs)
+				i = len(f.Report.Dirs)
+				f.Report.Dirs = append(f.Report.Dirs, DirKPI{Dir: dir})
+			}
+			f.Report.Dirs[i].CCDF = append(f.Report.Dirs[i].CCDF, CCDFPoint{LeUs: jc.LeUs, CCDF: jc.CCDF})
+		default:
+			// Other dialects' kinds pass through silently.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("kpi: %w", err)
+	}
+	return f, nil
+}
+
+// ---------------------------------------------------------------------------
+// Rendering: Markdown section and CSV exports.
+// ---------------------------------------------------------------------------
+
+// ccdfTargets are the reliability levels the Markdown excerpt quotes: the
+// latency bound at which the violation probability first drops to each
+// level, down to the URLLC 1e-5 regime.
+var ccdfTargets = []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5}
+
+// latencyAtCCDF returns the smallest recorded latency bound whose CCDF is
+// ≤ target, and ok=false when the curve never gets there (not enough
+// samples or a heavy tail).
+func latencyAtCCDF(points []CCDFPoint, target float64) (float64, bool) {
+	for _, p := range points {
+		if p.CCDF <= target {
+			return p.LeUs, true
+		}
+	}
+	return 0, false
+}
+
+// WriteKPIMarkdown renders the report as the "Per-UE KPIs" section.
+func WriteKPIMarkdown(w io.Writer, rep *KPIReport) error {
+	label := rep.Label
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "\n## Per-UE KPIs — %s\n\n", label)
+	if len(rep.UEs) == 0 {
+		fmt.Fprintln(bw, "- no outcome records")
+		return bw.Flush()
+	}
+	for _, d := range rep.Dirs {
+		fmt.Fprintf(bw, "### %s\n\n", d.Dir)
+		fmt.Fprintf(bw, "- %d UE(s), delivered %d, lost %d, Jain fairness: throughput %.4f, latency %.4f\n\n",
+			d.UEs, d.Delivered, d.Lost, d.JainThroughput, d.JainLatency)
+		fmt.Fprintf(bw, "| UE | delivered | lost | reliability | mean (µs) | p99 (µs) | AoI peak (µs) | AoI mean (µs) |\n")
+		fmt.Fprintf(bw, "|---:|---:|---:|---:|---:|---:|---:|---:|\n")
+		for _, u := range rep.UEs {
+			if u.Dir != d.Dir {
+				continue
+			}
+			aoiPeak, aoiMean := "—", "—"
+			if u.HasAoI {
+				aoiPeak = fmt.Sprintf("%.2f", u.AoIPeakUs)
+				aoiMean = fmt.Sprintf("%.2f", u.AoIMeanUs)
+			}
+			fmt.Fprintf(bw, "| %d | %d | %d | %.5f | %.2f | %.2f | %s | %s |\n",
+				u.UE, u.Delivered, u.Lost, u.Reliability, u.MeanUs, u.P99Us, aoiPeak, aoiMean)
+		}
+		if len(d.CCDF) > 0 {
+			fmt.Fprintf(bw, "\nReliability (latency bound at P(latency > t) ≤ target):\n\n")
+			fmt.Fprintf(bw, "| target | latency bound (µs) |\n|---:|---:|\n")
+			for _, target := range ccdfTargets {
+				if le, ok := latencyAtCCDF(d.CCDF, target); ok {
+					fmt.Fprintf(bw, "| %.0e | %.2f |\n", target, le)
+				} else {
+					fmt.Fprintf(bw, "| %.0e | not reached |\n", target)
+				}
+			}
+		}
+		fmt.Fprintln(bw)
+	}
+	return bw.Flush()
+}
+
+// WriteKPICSV writes the per-UE tables of one or more reports as CSV, one
+// row per (label, dir, ue).
+func WriteKPICSV(w io.Writer, reps []*KPIReport) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "label,dir,ue,delivered,lost,reliability,mean_us,p50_us,p99_us,max_us,aoi_peak_us,aoi_mean_us"); err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		for _, u := range rep.UEs {
+			aoiPeak, aoiMean := "", ""
+			if u.HasAoI {
+				aoiPeak = fmt.Sprintf("%.3f", u.AoIPeakUs)
+				aoiMean = fmt.Sprintf("%.3f", u.AoIMeanUs)
+			}
+			fmt.Fprintf(bw, "%s,%s,%d,%d,%d,%.6f,%.3f,%.3f,%.3f,%.3f,%s,%s\n",
+				csvField(rep.Label), u.Dir, u.UE, u.Delivered, u.Lost, u.Reliability,
+				u.MeanUs, u.P50Us, u.P99Us, u.MaxUs, aoiPeak, aoiMean)
+		}
+	}
+	return bw.Flush()
+}
+
+// WriteCCDFCSV writes the reliability curves of one or more reports as CSV:
+// one row per occupied latency bucket per (label, direction), ascending.
+func WriteCCDFCSV(w io.Writer, reps []*KPIReport) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "label,dir,latency_le_us,ccdf"); err != nil {
+		return err
+	}
+	for _, rep := range reps {
+		for _, d := range rep.Dirs {
+			for _, p := range d.CCDF {
+				fmt.Fprintf(bw, "%s,%s,%.3f,%.9g\n", csvField(rep.Label), d.Dir, p.LeUs, p.CCDF)
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -30,6 +30,7 @@ type jsonLine struct {
 	// span + event + outcome
 	Packet int    `json:"packet"`
 	Layer  string `json:"layer"`
+	UE     int    `json:"ue"` // outcome only; 0 in older traces
 
 	// span
 	Dir     string  `json:"dir"`
@@ -74,6 +75,20 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 		if len(line) == 0 {
 			continue
 		}
+		// Peek at the kind before decoding the full union: other dialects
+		// (slots, KPI) reuse field names with different types, so decoding
+		// the union on a foreign kind would fail instead of skipping it.
+		var head struct {
+			Kind   string `json:"kind"`
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			return nil, fmt.Errorf("analyze: line %d: %w", lineNo, err)
+		}
+		if head.Kind != "meta" && head.Kind != "span" && head.Kind != "outcome" && head.Kind != "event" {
+			// Future or foreign record kinds pass through silently.
+			continue
+		}
 		var jl jsonLine
 		if err := json.Unmarshal(line, &jl); err != nil {
 			return nil, fmt.Errorf("analyze: line %d: %w", lineNo, err)
@@ -107,7 +122,7 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 				return nil, fmt.Errorf("analyze: line %d: unknown dir %q", lineNo, jl.Dir)
 			}
 			tr.Outcomes = append(tr.Outcomes, obs.Outcome{
-				Packet: jl.Packet, Dir: dir, Delivered: jl.Delivered,
+				Packet: jl.Packet, UE: jl.UE, Dir: dir, Delivered: jl.Delivered,
 				Latency: sim.Duration(usToNs(jl.LatencyUs)), Attempts: jl.Attempts,
 				End: sim.Time(usToNs(jl.EndUs)),
 			})

@@ -46,6 +46,7 @@ type jsonEvent struct {
 type jsonOutcome struct {
 	Kind      string  `json:"kind"` // "outcome"
 	Packet    int     `json:"packet"`
+	UE        int     `json:"ue"` // logical UE; 0 in older traces
 	Dir       string  `json:"dir"`
 	Delivered bool    `json:"delivered"`
 	LatencyUs float64 `json:"latency_us"`
@@ -76,7 +77,7 @@ func WriteJSONL(w io.Writer, r *Recorder) error {
 	}
 	for _, o := range r.Outcomes() {
 		jo := jsonOutcome{
-			Kind: "outcome", Packet: o.Packet, Dir: o.Dir.String(),
+			Kind: "outcome", Packet: o.Packet, UE: o.UE, Dir: o.Dir.String(),
 			Delivered: o.Delivered, LatencyUs: float64(o.Latency) / 1000,
 			Attempts: o.Attempts, EndUs: o.End.Micros(),
 		}

@@ -140,6 +140,7 @@ type Outcome struct {
 	Latency   sim.Duration
 	Attempts  int
 	End       sim.Time // sim instant the verdict landed (wire: end_us; 0 in pre-meta traces)
+	UE        int      // logical UE the packet belongs to (wire: ue; 0 in older traces)
 }
 
 // EdgeKind names one causal transition of a packet's journey: the discrete
@@ -270,6 +271,13 @@ type Recorder struct {
 	// observing a run costs O(ring) memory regardless of run length.
 	discardSpans    bool
 	discardOutcomes bool
+
+	// slotLedger, when enabled, retains one SlotRecord per scheduling tick
+	// (see slots.go). Off by default: the node layer checks
+	// SlotLedgerEnabled before assembling a record, so unledgered runs pay
+	// one bool comparison per tick.
+	slotLedger bool
+	slots      []SlotRecord
 }
 
 // NewRecorder returns an enabled recorder with a fresh metrics registry.

@@ -97,9 +97,11 @@ type Registry struct {
 	counters []*Counter
 	gauges   []*Gauge
 	timings  []*Timing
+	families []Family
 	cIndex   map[string]*Counter
 	gIndex   map[string]*Gauge
 	tIndex   map[string]*Timing
+	fIndex   map[string]Family
 	snaps    []Snapshot
 }
 
@@ -109,6 +111,7 @@ func NewRegistry() *Registry {
 		cIndex: map[string]*Counter{},
 		gIndex: map[string]*Gauge{},
 		tIndex: map[string]*Timing{},
+		fIndex: map[string]Family{},
 	}
 }
 
@@ -158,6 +161,9 @@ func (r *Registry) Gauges() []*Gauge { return r.gauges }
 // Timings returns all timings in registration order.
 func (r *Registry) Timings() []*Timing { return r.timings }
 
+// Families returns all labeled families in registration order.
+func (r *Registry) Families() []Family { return r.families }
+
 // Snapshot records the current value of every counter and gauge at t.
 func (r *Registry) Snapshot(t sim.Time) {
 	s := Snapshot{
@@ -201,6 +207,15 @@ func (r *Registry) Merge(o *Registry) {
 	for _, t := range o.timings {
 		r.Timing(t.Name).Merge(t)
 	}
+	for _, f := range o.families {
+		mine, ok := r.fIndex[f.FamilyName()]
+		if !ok {
+			mine = f.emptyLike()
+			r.fIndex[f.FamilyName()] = mine
+			r.families = append(r.families, mine)
+		}
+		mine.mergeFamily(f)
+	}
 }
 
 // Summary renders counters, gauges and timing statistics as an aligned text
@@ -227,6 +242,65 @@ func (r *Registry) Summary() string {
 			fmt.Fprintf(&sb, "  %-28s %10.2f %10.2f %10.2f %10.2f %10.2f %8d\n",
 				t.Name, t.Acc.Mean(), t.Acc.Std(), t.Hist.Percentile(0.99)*1000,
 				float64(t.HDR.Quantile(0.99999))/1000, float64(t.HDR.Max())/1000, t.Acc.N())
+		}
+	}
+	if len(r.families) > 0 {
+		sb.WriteString("labeled families:\n")
+		for _, f := range r.families {
+			fmt.Fprintf(&sb, "  %s (%s):\n", f.FamilyName(), f.FamilyKind())
+			for _, row := range f.Rows() {
+				switch f.FamilyKind() {
+				case FamilyCounter:
+					fmt.Fprintf(&sb, "    %-42s %12d\n", labelString(row.Labels), row.Count)
+				case FamilyGauge:
+					fmt.Fprintf(&sb, "    %-42s %12.2f\n", labelString(row.Labels), row.Value)
+				case FamilyHist:
+					fmt.Fprintf(&sb, "    %-42s mean %10.2f p99 %10.2f worst %10.2f n %8d\n",
+						labelString(row.Labels), row.Hist.Mean()/1000,
+						float64(row.Hist.Quantile(0.99))/1000,
+						float64(row.Hist.Max())/1000, row.Hist.N())
+				}
+			}
+		}
+	}
+	return sb.String()
+}
+
+// labelString renders a label list in Prometheus selector syntax:
+// {ue="0",dir="DL"}.
+func labelString(ls []Label) string {
+	var sb strings.Builder
+	sb.WriteByte('{')
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(l.Name)
+		sb.WriteString(`="`)
+		sb.WriteString(escapeLabelValue(l.Value))
+		sb.WriteByte('"')
+	}
+	sb.WriteByte('}')
+	return sb.String()
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format:
+// backslash, double quote and newline.
+func escapeLabelValue(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var sb strings.Builder
+	for _, r := range v {
+		switch r {
+		case '\\':
+			sb.WriteString(`\\`)
+		case '"':
+			sb.WriteString(`\"`)
+		case '\n':
+			sb.WriteString(`\n`)
+		default:
+			sb.WriteRune(r)
 		}
 	}
 	return sb.String()

@@ -115,6 +115,41 @@ func writePrometheus(w io.Writer, reg *Registry) {
 		fmt.Fprintf(w, "%s_sum %g\n", name, t.HDR.Sum()/1e9)
 		fmt.Fprintf(w, "%s_count %d\n", name, t.HDR.N())
 	}
+	for _, f := range reg.Families() {
+		switch f.FamilyKind() {
+		case FamilyCounter:
+			name := promName(f.FamilyName()) + "_total"
+			fmt.Fprintf(w, "# HELP %s simulator event counter family %q\n", name, f.FamilyName())
+			fmt.Fprintf(w, "# TYPE %s counter\n", name)
+			for _, row := range f.Rows() {
+				fmt.Fprintf(w, "%s%s %d\n", name, labelString(row.Labels), row.Count)
+			}
+		case FamilyGauge:
+			name := promName(f.FamilyName())
+			fmt.Fprintf(w, "# HELP %s simulator gauge family %q\n", name, f.FamilyName())
+			fmt.Fprintf(w, "# TYPE %s gauge\n", name)
+			for _, row := range f.Rows() {
+				fmt.Fprintf(w, "%s%s %g\n", name, labelString(row.Labels), row.Value)
+			}
+		case FamilyHist:
+			name := promName(f.FamilyName()) + "_seconds"
+			fmt.Fprintf(w, "# HELP %s simulated latency family %q\n", name, f.FamilyName())
+			fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+			for _, row := range f.Rows() {
+				withLE := func(le string) string {
+					ls := make([]Label, len(row.Labels), len(row.Labels)+1)
+					copy(ls, row.Labels)
+					return labelString(append(ls, Label{"le", le}))
+				}
+				row.Hist.Buckets(func(upperNs, cum int64) {
+					fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE(fmt.Sprintf("%.9g", float64(upperNs)/1e9)), cum)
+				})
+				fmt.Fprintf(w, "%s_bucket%s %d\n", name, withLE("+Inf"), row.Hist.N())
+				fmt.Fprintf(w, "%s_sum%s %g\n", name, labelString(row.Labels), row.Hist.Sum()/1e9)
+				fmt.Fprintf(w, "%s_count%s %d\n", name, labelString(row.Labels), row.Hist.N())
+			}
+		}
+	}
 }
 
 // promName maps a registry metric name (dotted, free-form) onto the

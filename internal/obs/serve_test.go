@@ -29,6 +29,26 @@ func scrape(t *testing.T, base, path string) (int, string) {
 	return resp.StatusCode, string(b)
 }
 
+// stripLe removes the le="…" pair from a {…} label string, leaving the
+// series identity shared by a histogram's buckets, _sum and _count.
+func stripLe(labels string) string {
+	i := strings.Index(labels, "le=\"")
+	if i < 0 {
+		return labels
+	}
+	j := strings.IndexByte(labels[i+4:], '"')
+	rest := labels[i+4+j+1:]
+	head := labels[:i]
+	head = strings.TrimSuffix(head, ",")
+	if strings.HasPrefix(rest, ",") && strings.HasSuffix(head, "{") {
+		rest = rest[1:]
+	}
+	if head == "{" && rest == "}" {
+		return ""
+	}
+	return head + rest
+}
+
 // checkPrometheusText validates the exposition body: every sample line
 // parses, histogram buckets are cumulative and monotone in le, and each
 // _count matches the +Inf bucket.
@@ -59,9 +79,9 @@ func checkPrometheusText(t *testing.T, body string) {
 		if err != nil {
 			t.Fatalf("bad value in %q: %v", line, err)
 		}
-		name := metric
+		name, labels := metric, ""
 		if i := strings.IndexByte(metric, '{'); i >= 0 {
-			name = metric[:i]
+			name, labels = metric[:i], metric[i:]
 		}
 		for _, r := range name {
 			if !(r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '_' || r == ':') {
@@ -70,7 +90,9 @@ func checkPrometheusText(t *testing.T, body string) {
 		}
 		switch {
 		case strings.HasSuffix(name, "_bucket"):
-			base := strings.TrimSuffix(name, "_bucket")
+			// One histogram series per label set (family rows share a name),
+			// so the le-monotonicity state is keyed by the non-le labels.
+			base := strings.TrimSuffix(name, "_bucket") + stripLe(labels)
 			h := hists[base]
 			if h == nil {
 				h = &histState{lastLe: -1}
@@ -96,7 +118,7 @@ func checkPrometheusText(t *testing.T, body string) {
 			}
 			h.lastLe, h.lastCum = le, cum
 		case strings.HasSuffix(name, "_count"):
-			base := strings.TrimSuffix(name, "_count")
+			base := strings.TrimSuffix(name, "_count") + labels
 			if h := hists[base]; h != nil {
 				h.sawCount = true
 				h.count = int64(fval)

@@ -1,0 +1,383 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"urllcsim/internal/sim"
+)
+
+// The slot-occupancy ledger answers the capacity questions aggregates hide:
+// which slots were contended, how much of each planned slot's transport
+// capacity was used, which UE took it, and how many SR→grant handshakes were
+// served or deferred at each boundary. The node layer stamps one SlotRecord
+// per scheduling tick when the ledger is enabled (EnableSlotLedger); the
+// ledger exports as the urllcsim-slots/v1 JSONL dialect and merges exactly
+// across sweep shards (MergeSlotLedgers), keeping the worker-count
+// invariance contract.
+
+// SlotsSchema versions the slot-ledger JSONL dialect. The meta line uses
+// kind "slots_meta" (not "meta") so trace readers, which reject a foreign
+// schema on their own meta kind, skip ledger files cleanly.
+const SlotsSchema = "urllcsim-slots/v1"
+
+// SlotUETake is one UE's share of one scheduling tick.
+type SlotUETake struct {
+	UE       int
+	DLBytes  int // DL payload bytes allocated to this UE in the planned slot
+	DLItems  int // RLC queue items taken for this UE
+	ULBytes  int // UL grant bytes issued to this UE at this boundary
+	ULGrants int // UL grants issued to this UE at this boundary
+}
+
+// SlotRecord is the ledger entry of one scheduling tick.
+type SlotRecord struct {
+	Boundary sim.Time
+	// TargetDL is the DL slot this tick planned (sim.Never when the target
+	// slot had no DL capability and nothing was planned).
+	TargetDL sim.Time
+
+	DLCapBytes  int // transport capacity of the planned DL slot
+	DLUsedBytes int // bytes of that capacity actually allocated
+
+	QueueDepth int // RLC queue depth at the boundary, before the take
+	QueueTaken int // queue items consumed for the planned slot
+
+	GrantsIssued int // UL grants issued at this boundary
+	ULGrantBytes int // bytes promised by those grants
+	SRsPending   int // SRs still awaiting a grant after this tick
+	SRsDeferred  int // SRs considered at this tick but not granted
+
+	// PerUE breaks the take down by UE, sorted by UE id.
+	PerUE []SlotUETake
+}
+
+// EnableSlotLedger switches on per-tick ledger retention. Call before the
+// simulation starts.
+func (r *Recorder) EnableSlotLedger() {
+	if r == nil {
+		return
+	}
+	r.slotLedger = true
+}
+
+// SlotLedgerEnabled reports whether the ledger is collecting — the node
+// layer's gate around record assembly, so unledgered runs pay one bool
+// comparison per tick instead of building a record nobody keeps.
+func (r *Recorder) SlotLedgerEnabled() bool { return r != nil && r.slotLedger }
+
+// Slot appends one ledger record. No-op unless the ledger is enabled.
+func (r *Recorder) Slot(rec SlotRecord) {
+	if r == nil || !r.slotLedger {
+		return
+	}
+	r.slots = append(r.slots, rec)
+}
+
+// Slots returns the ledger in tick order.
+func (r *Recorder) Slots() []SlotRecord {
+	if r == nil {
+		return nil
+	}
+	return r.slots
+}
+
+// MergeSlotLedgers merges shard ledgers by slot boundary: capacities, usage,
+// queue and grant counts add, per-UE takes merge by UE id. Replicas of one
+// configuration tick the same boundaries with the same (grid-derived)
+// TargetDL, so the merged ledger reads as the aggregate occupancy of the
+// whole fleet. All sums are exact integers and the output is sorted by
+// boundary, so merging in any fixed shard order is bit-identical however the
+// shards were scheduled.
+func MergeSlotLedgers(shards ...[]SlotRecord) []SlotRecord {
+	byBoundary := map[sim.Time]*SlotRecord{}
+	var order []sim.Time
+	for _, shard := range shards {
+		for _, rec := range shard {
+			m, ok := byBoundary[rec.Boundary]
+			if !ok {
+				cp := rec
+				cp.PerUE = append([]SlotUETake(nil), rec.PerUE...)
+				byBoundary[rec.Boundary] = &cp
+				order = append(order, rec.Boundary)
+				continue
+			}
+			if m.TargetDL == sim.Never {
+				m.TargetDL = rec.TargetDL
+			}
+			m.DLCapBytes += rec.DLCapBytes
+			m.DLUsedBytes += rec.DLUsedBytes
+			m.QueueDepth += rec.QueueDepth
+			m.QueueTaken += rec.QueueTaken
+			m.GrantsIssued += rec.GrantsIssued
+			m.ULGrantBytes += rec.ULGrantBytes
+			m.SRsPending += rec.SRsPending
+			m.SRsDeferred += rec.SRsDeferred
+			m.PerUE = mergeUETakes(m.PerUE, rec.PerUE)
+		}
+	}
+	sort.Slice(order, func(i, j int) bool { return order[i] < order[j] })
+	out := make([]SlotRecord, 0, len(order))
+	for _, b := range order {
+		out = append(out, *byBoundary[b])
+	}
+	return out
+}
+
+// mergeUETakes folds b's takes into a by UE id, keeping the result sorted.
+func mergeUETakes(a, b []SlotUETake) []SlotUETake {
+	for _, t := range b {
+		found := false
+		for i := range a {
+			if a[i].UE == t.UE {
+				a[i].DLBytes += t.DLBytes
+				a[i].DLItems += t.DLItems
+				a[i].ULBytes += t.ULBytes
+				a[i].ULGrants += t.ULGrants
+				found = true
+				break
+			}
+		}
+		if !found {
+			a = append(a, t)
+		}
+	}
+	sort.Slice(a, func(i, j int) bool { return a[i].UE < a[j].UE })
+	return a
+}
+
+// jsonSlotsMeta is the first line of a slots JSONL stream.
+type jsonSlotsMeta struct {
+	Kind   string `json:"kind"` // "slots_meta"
+	Schema string `json:"schema"`
+	Label  string `json:"label,omitempty"`
+}
+
+// jsonSlotUE is the wire form of a SlotUETake.
+type jsonSlotUE struct {
+	UE       int `json:"ue"`
+	DLBytes  int `json:"dl_bytes"`
+	DLItems  int `json:"dl_items"`
+	ULBytes  int `json:"ul_bytes"`
+	ULGrants int `json:"ul_grants"`
+}
+
+// jsonSlot is the wire form of a SlotRecord. Times are µs floats like every
+// dialect in this repository; they round-trip to exact nanoseconds.
+type jsonSlot struct {
+	Kind         string       `json:"kind"` // "slot"
+	BoundaryUs   float64      `json:"boundary_us"`
+	DL           bool         `json:"dl"` // tick planned a DL-capable slot
+	TargetDLUs   float64      `json:"target_dl_us,omitempty"`
+	CapBytes     int          `json:"cap_bytes"`
+	UsedBytes    int          `json:"used_bytes"`
+	QueueDepth   int          `json:"qdepth"`
+	QueueTaken   int          `json:"qtaken"`
+	GrantsIssued int          `json:"grants"`
+	ULGrantBytes int          `json:"grant_bytes"`
+	SRsPending   int          `json:"srs_pending"`
+	SRsDeferred  int          `json:"srs_deferred"`
+	PerUE        []jsonSlotUE `json:"per_ue,omitempty"`
+}
+
+// WriteSlotsJSONL writes the ledger as one urllcsim-slots/v1 JSONL stream:
+// a slots_meta line, then one slot line per scheduling tick.
+func WriteSlotsJSONL(w io.Writer, recs []SlotRecord, label string) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	if err := enc.Encode(jsonSlotsMeta{Kind: "slots_meta", Schema: SlotsSchema, Label: label}); err != nil {
+		return err
+	}
+	for _, rec := range recs {
+		js := jsonSlot{
+			Kind:       "slot",
+			BoundaryUs: rec.Boundary.Micros(),
+			DL:         rec.TargetDL != sim.Never,
+			CapBytes:   rec.DLCapBytes, UsedBytes: rec.DLUsedBytes,
+			QueueDepth: rec.QueueDepth, QueueTaken: rec.QueueTaken,
+			GrantsIssued: rec.GrantsIssued, ULGrantBytes: rec.ULGrantBytes,
+			SRsPending: rec.SRsPending, SRsDeferred: rec.SRsDeferred,
+		}
+		if js.DL {
+			js.TargetDLUs = rec.TargetDL.Micros()
+		}
+		for _, t := range rec.PerUE {
+			js.PerUE = append(js.PerUE, jsonSlotUE{
+				UE: t.UE, DLBytes: t.DLBytes, DLItems: t.DLItems,
+				ULBytes: t.ULBytes, ULGrants: t.ULGrants,
+			})
+		}
+		if err := enc.Encode(js); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// SlotFile is a re-ingested slots JSONL stream.
+type SlotFile struct {
+	Label   string
+	HasMeta bool
+	Records []SlotRecord
+}
+
+// slotsUsToNs mirrors analyze.usToNs: the writer computes us =
+// float64(ns)/1000 and the shortest round-tripping decimal is printed, so
+// Round(us*1000) recovers the exact nanosecond count.
+func slotsUsToNs(us float64) int64 { return int64(math.Round(us * 1000)) }
+
+// ReadSlotsJSONL parses a slots stream. Unknown record kinds are skipped
+// (so a mixed file also carrying trace or flight records reads cleanly);
+// malformed JSON or an unknown slots schema version is a one-line error.
+func ReadSlotsJSONL(r io.Reader) (*SlotFile, error) {
+	f := &SlotFile{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var head struct {
+			Kind   string `json:"kind"`
+			Schema string `json:"schema"`
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			return nil, fmt.Errorf("slots: line %d: %w", lineNo, err)
+		}
+		switch head.Kind {
+		case "slots_meta":
+			if head.Schema != SlotsSchema {
+				return nil, fmt.Errorf("slots: line %d: unsupported slots schema %q (this reader speaks %q)",
+					lineNo, head.Schema, SlotsSchema)
+			}
+			var meta jsonSlotsMeta
+			if err := json.Unmarshal(line, &meta); err != nil {
+				return nil, fmt.Errorf("slots: line %d: %w", lineNo, err)
+			}
+			f.HasMeta = true
+			if f.Label == "" {
+				f.Label = meta.Label
+			}
+		case "slot":
+			var js jsonSlot
+			if err := json.Unmarshal(line, &js); err != nil {
+				return nil, fmt.Errorf("slots: line %d: %w", lineNo, err)
+			}
+			rec := SlotRecord{
+				Boundary: sim.Time(slotsUsToNs(js.BoundaryUs)), TargetDL: sim.Never,
+				DLCapBytes: js.CapBytes, DLUsedBytes: js.UsedBytes,
+				QueueDepth: js.QueueDepth, QueueTaken: js.QueueTaken,
+				GrantsIssued: js.GrantsIssued, ULGrantBytes: js.ULGrantBytes,
+				SRsPending: js.SRsPending, SRsDeferred: js.SRsDeferred,
+			}
+			if js.DL {
+				rec.TargetDL = sim.Time(slotsUsToNs(js.TargetDLUs))
+			}
+			for _, t := range js.PerUE {
+				rec.PerUE = append(rec.PerUE, SlotUETake{
+					UE: t.UE, DLBytes: t.DLBytes, DLItems: t.DLItems,
+					ULBytes: t.ULBytes, ULGrants: t.ULGrants,
+				})
+			}
+			f.Records = append(f.Records, rec)
+		default:
+			// Trace, flight or future kinds pass through silently.
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("slots: %w", err)
+	}
+	return f, nil
+}
+
+// WriteSlotsMarkdown renders the ledger as the "Slot occupancy" report
+// section: whole-run utilization, the most contended slots, and per-UE
+// totals.
+func WriteSlotsMarkdown(w io.Writer, f *SlotFile) error {
+	label := f.Label
+	if label == "" {
+		label = "(unlabeled)"
+	}
+	bw := bufio.NewWriter(w)
+	fmt.Fprintf(bw, "\n## Slot occupancy — %s\n\n", label)
+	if len(f.Records) == 0 {
+		fmt.Fprintln(bw, "- ledger is empty")
+		return bw.Flush()
+	}
+
+	var dlTicks, capBytes, used, taken, grants, grantBytes, deferred, maxQ int
+	for _, rec := range f.Records {
+		if rec.TargetDL != sim.Never {
+			dlTicks++
+		}
+		capBytes += rec.DLCapBytes
+		used += rec.DLUsedBytes
+		taken += rec.QueueTaken
+		grants += rec.GrantsIssued
+		grantBytes += rec.ULGrantBytes
+		deferred += rec.SRsDeferred
+		if rec.QueueDepth > maxQ {
+			maxQ = rec.QueueDepth
+		}
+	}
+	fmt.Fprintf(bw, "- %d scheduling ticks, %d planned a DL-capable slot\n", len(f.Records), dlTicks)
+	util := 0.0
+	if capBytes > 0 {
+		util = 100 * float64(used) / float64(capBytes)
+	}
+	fmt.Fprintf(bw, "- DL capacity %d bytes, used %d bytes (%.2f%% utilization), %d queue items taken\n",
+		capBytes, used, util, taken)
+	fmt.Fprintf(bw, "- UL grants issued %d (%d bytes), SR decisions deferred %d, max queue depth %d\n",
+		grants, grantBytes, deferred, maxQ)
+
+	// Most loaded slots, by bytes used then grants, ties by boundary.
+	busiest := make([]SlotRecord, len(f.Records))
+	copy(busiest, f.Records)
+	sort.SliceStable(busiest, func(i, j int) bool {
+		if busiest[i].DLUsedBytes != busiest[j].DLUsedBytes {
+			return busiest[i].DLUsedBytes > busiest[j].DLUsedBytes
+		}
+		if busiest[i].GrantsIssued != busiest[j].GrantsIssued {
+			return busiest[i].GrantsIssued > busiest[j].GrantsIssued
+		}
+		return busiest[i].Boundary < busiest[j].Boundary
+	})
+	const topN = 8
+	n := len(busiest)
+	if n > topN {
+		n = topN
+	}
+	if n > 0 && (busiest[0].DLUsedBytes > 0 || busiest[0].GrantsIssued > 0) {
+		fmt.Fprintf(bw, "\n| boundary (µs) | used/cap bytes | q depth | taken | grants | SRs deferred |\n")
+		fmt.Fprintf(bw, "|---:|---:|---:|---:|---:|---:|\n")
+		for _, rec := range busiest[:n] {
+			if rec.DLUsedBytes == 0 && rec.GrantsIssued == 0 {
+				break
+			}
+			fmt.Fprintf(bw, "| %.2f | %d/%d | %d | %d | %d | %d |\n",
+				rec.Boundary.Micros(), rec.DLUsedBytes, rec.DLCapBytes,
+				rec.QueueDepth, rec.QueueTaken, rec.GrantsIssued, rec.SRsDeferred)
+		}
+	}
+
+	// Per-UE totals across the whole ledger.
+	var totals []SlotUETake
+	for _, rec := range f.Records {
+		totals = mergeUETakes(totals, rec.PerUE)
+	}
+	if len(totals) > 0 {
+		fmt.Fprintf(bw, "\n| UE | DL bytes | DL items | UL grant bytes | UL grants |\n")
+		fmt.Fprintf(bw, "|---:|---:|---:|---:|---:|\n")
+		for _, t := range totals {
+			fmt.Fprintf(bw, "| %d | %d | %d | %d | %d |\n", t.UE, t.DLBytes, t.DLItems, t.ULBytes, t.ULGrants)
+		}
+	}
+	return bw.Flush()
+}

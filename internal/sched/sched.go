@@ -53,6 +53,14 @@ type Plan struct {
 	ULGrants  []Grant
 	DLAllocs  []Alloc
 	DLPlanned []int // IDs removed from the DL queue
+
+	// Occupancy accounting for the slot ledger: the planned DL slot's
+	// transport capacity, the bytes of it actually allocated (both zero when
+	// TargetDL is Never), and the SRs that were eligible at this boundary but
+	// left ungranted — the "denied" side of grants issued vs denied.
+	DLCapBytes  int
+	DLUsedBytes int
+	SRsDeferred int
 }
 
 // Config parameterises the scheduler.
@@ -164,6 +172,7 @@ func (s *Scheduler) Tick(b sim.Time, dlQueue []DLItem) Plan {
 	// --- DL data allocation ---
 	if s.slotIsDLCapable(target, 2) {
 		plan.TargetDL = target
+		plan.DLCapBytes = s.cfg.DLSlotBytes
 		remaining := s.cfg.DLSlotBytes
 		perUE := map[int]*Alloc{}
 		var ueOrder []int
@@ -185,6 +194,7 @@ func (s *Scheduler) Tick(b sim.Time, dlQueue []DLItem) Plan {
 		for _, ue := range ueOrder {
 			plan.DLAllocs = append(plan.DLAllocs, *perUE[ue])
 		}
+		plan.DLUsedBytes = s.cfg.DLSlotBytes - remaining
 
 		// --- UL grants ride the DL control of the same planned slot ---
 		earliestUL := target.Add(sim.Duration(1+s.cfg.K2Slots) * s.slotDur())
@@ -197,6 +207,7 @@ func (s *Scheduler) Tick(b sim.Time, dlQueue []DLItem) Plan {
 			ulSlot, ok := s.nextULSlot(earliestUL)
 			if !ok {
 				still = append(still, sr)
+				plan.SRsDeferred++
 				continue
 			}
 			// Walk forward past slots whose capacity is exhausted.
@@ -217,6 +228,14 @@ func (s *Scheduler) Tick(b sim.Time, dlQueue []DLItem) Plan {
 			})
 		}
 		s.pendingSR = still
+	} else {
+		// No DL-capable slot means no PDCCH for grants either: every SR that
+		// was eligible at this boundary waits out the tick.
+		for _, sr := range s.pendingSR {
+			if sr.RecvAt <= b {
+				plan.SRsDeferred++
+			}
+		}
 	}
 
 	// Garbage-collect capacity bookkeeping for past slots.

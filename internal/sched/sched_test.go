@@ -216,3 +216,49 @@ func TestGrantCapacityGCPastSlots(t *testing.T) {
 		t.Fatalf("stale capacity entries survive: %v", s.grantedUL)
 	}
 }
+
+// TestPlanOccupancyAccounting: the ledger-facing fields of Plan — capacity,
+// usage and deferred-SR counts — match the allocation the tick performed.
+func TestPlanOccupancyAccounting(t *testing.T) {
+	s := ddduScheduler(t, 1)
+
+	// DL-capable tick: capacity is the configured slot bytes, usage the FIFO
+	// take (2000+2000 fits, the third 2000B item blocks on remaining 1000B).
+	queue := []DLItem{
+		{ID: 1, UE: 1, Bytes: 2000},
+		{ID: 2, UE: 2, Bytes: 2000},
+		{ID: 3, UE: 1, Bytes: 2000},
+	}
+	plan := s.Tick(0, queue)
+	if plan.DLCapBytes != 5000 || plan.DLUsedBytes != 4000 {
+		t.Fatalf("cap/used = %d/%d, want 5000/4000", plan.DLCapBytes, plan.DLUsedBytes)
+	}
+	if plan.SRsDeferred != 0 {
+		t.Fatalf("no SRs pending but %d deferred", plan.SRsDeferred)
+	}
+
+	// Tick with no DL-capable target: zero capacity, and every SR eligible at
+	// the boundary counts as deferred (no PDCCH to carry a grant).
+	s.OnSR(SRRequest{UE: 1, RecvAt: 0})
+	s.OnSR(SRRequest{UE: 2, RecvAt: 0})
+	s.OnSR(SRRequest{UE: 3, RecvAt: 5 * slot}) // not yet decoded — not deferred
+	plan = s.Tick(2*slot, nil)
+	if plan.TargetDL != sim.Never || plan.DLCapBytes != 0 || plan.DLUsedBytes != 0 {
+		t.Fatalf("UL-slot tick claims DL capacity: %+v", plan)
+	}
+	if plan.SRsDeferred != 2 {
+		t.Fatalf("deferred = %d, want the 2 eligible SRs", plan.SRsDeferred)
+	}
+	if s.PendingSRs() != 3 {
+		t.Fatalf("deferral must not drop SRs: %d pending", s.PendingSRs())
+	}
+
+	// Next DL-capable tick grants the eligible SRs: issued, not deferred.
+	plan = s.Tick(4*slot, nil)
+	if len(plan.ULGrants) != 2 || plan.SRsDeferred != 0 {
+		t.Fatalf("grants=%d deferred=%d, want 2/0: %+v", len(plan.ULGrants), plan.SRsDeferred, plan)
+	}
+	if plan.DLCapBytes != 5000 || plan.DLUsedBytes != 0 {
+		t.Fatalf("empty queue must leave capacity unused: %+v", plan)
+	}
+}

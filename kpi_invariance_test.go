@@ -1,0 +1,93 @@
+package urllcsim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"urllcsim/internal/obs"
+	"urllcsim/internal/sim"
+	"urllcsim/internal/sweep"
+)
+
+// kpiShard runs one full-system replica with per-UE attribution and the slot
+// ledger enabled, returning the registry (with its labeled families) and the
+// ledger for the shard-ordered merge.
+func kpiShard(t *testing.T, shard int, seed uint64) (*obs.Registry, []obs.SlotRecord) {
+	t.Helper()
+	rec := obs.NewRecorder()
+	rec.EnableSlotLedger()
+	sc, err := NewScenario(ScenarioConfig{
+		Pattern: PatternDDDU, SlotScale: Slot0p5ms, Radio: RadioUSB2,
+		Seed: seed, Deadline: 500 * time.Microsecond, Obs: rec,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const packets, ues = 24, 3
+	rng := sim.NewRNG(seed ^ 0x5EED)
+	for i := 0; i < packets; i++ {
+		at := time.Duration(i)*2*time.Millisecond + time.Duration(rng.UniformDuration(0, sim.Duration(2*time.Millisecond)))
+		sc.SendUplinkFrom(i%ues, at, 32)
+		sc.SendDownlinkFrom(i%ues, at, 32)
+	}
+	sc.Run(time.Duration(packets+60) * 2 * time.Millisecond)
+	return rec.Metrics(), rec.Slots()
+}
+
+// TestLabeledMergeWorkerInvariance extends the sweep invariance contract to
+// the dimensional layer: merging shard registries (now carrying per-UE
+// counter/gauge/histogram families) and shard slot ledgers in shard order
+// yields bit-identical results for 1, 2 and 4 workers.
+func TestLabeledMergeWorkerInvariance(t *testing.T) {
+	type out struct {
+		reg   *obs.Registry
+		slots []obs.SlotRecord
+	}
+	const shards = 8
+	sweepOnce := func(workers int) (*obs.Registry, []byte) {
+		res, err := sweep.Run(workers, shards, func(shard int) (out, error) {
+			reg, slots := kpiShard(t, shard, sweep.Seed(7, shard))
+			return out{reg, slots}, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		regs := make([]*obs.Registry, shards)
+		ledgers := make([][]obs.SlotRecord, shards)
+		for i, r := range res {
+			regs[i], ledgers[i] = r.reg, r.slots
+		}
+		var buf bytes.Buffer
+		if err := obs.WriteSlotsJSONL(&buf, obs.MergeSlotLedgers(ledgers...), "inv"); err != nil {
+			t.Fatal(err)
+		}
+		return sweep.MergeRegistries(regs), buf.Bytes()
+	}
+
+	goldenReg, goldenSlots := sweepOnce(1)
+	if !hasFamily(goldenReg, "pkt.by_ue") || !hasFamily(goldenReg, "lat.by_ue") {
+		t.Fatalf("merged registry lost its labeled families:\n%s", goldenReg.Summary())
+	}
+	for _, workers := range []int{2, 4} {
+		reg, slots := sweepOnce(workers)
+		if !reflect.DeepEqual(goldenReg, reg) {
+			t.Errorf("%d workers: merged registry differs from sequential:\n-- 1 worker --\n%s-- %d workers --\n%s",
+				workers, goldenReg.Summary(), workers, reg.Summary())
+		}
+		if !bytes.Equal(goldenSlots, slots) {
+			t.Errorf("%d workers: merged slot ledger not byte-identical to sequential", workers)
+		}
+	}
+}
+
+// hasFamily reports whether the registry carries a labeled family with rows.
+func hasFamily(reg *obs.Registry, name string) bool {
+	for _, f := range reg.Families() {
+		if f.FamilyName() == name && len(f.Rows()) > 0 {
+			return true
+		}
+	}
+	return false
+}

@@ -275,12 +275,26 @@ func (s *Scenario) Engine() *sim.Engine { return s.sys.Eng }
 // SendUplink offers one UL packet of the given size at the given virtual
 // time. Returns the packet id.
 func (s *Scenario) SendUplink(at time.Duration, bytes int) int {
-	return s.sys.OfferUL(sim.Time(at), make([]byte, max(bytes, 13)))
+	return s.SendUplinkFrom(0, at, bytes)
+}
+
+// SendUplinkFrom is SendUplink with the packet attributed to logical UE ue.
+// Attribution labels metrics, outcomes and the slot ledger only — it changes
+// no scheduling or channel decision, so results are identical however
+// packets are spread across UEs.
+func (s *Scenario) SendUplinkFrom(ue int, at time.Duration, bytes int) int {
+	return s.sys.OfferULAs(ue, sim.Time(at), make([]byte, max(bytes, 13)))
 }
 
 // SendDownlink offers one DL packet.
 func (s *Scenario) SendDownlink(at time.Duration, bytes int) int {
-	return s.sys.OfferDL(sim.Time(at), make([]byte, max(bytes, 13)))
+	return s.SendDownlinkFrom(0, at, bytes)
+}
+
+// SendDownlinkFrom is SendDownlink attributed to logical UE ue (label only,
+// like SendUplinkFrom).
+func (s *Scenario) SendDownlinkFrom(ue int, at time.Duration, bytes int) int {
+	return s.sys.OfferDLAs(ue, sim.Time(at), make([]byte, max(bytes, 13)))
 }
 
 // Run advances virtual time to the horizon and returns the resolved packet
