@@ -8,13 +8,13 @@ GO ?= go
 BENCH_TOL  ?= 10%
 SMOKE_TOL  ?= 500%
 
-.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke flight-smoke kpi-smoke
+.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke flight-smoke kpi-smoke cell-smoke
 
 ## check: full verification gate — lint (vet + gofmt), build, race-enabled tests,
 ## the parallel-vs-sequential sweep invariance smoke, the flight-recorder
-## no-interference smoke, the dimensional-KPI smoke, and the benchmark-harness
-## smoke
-check: lint build race sweep-smoke flight-smoke kpi-smoke bench-smoke
+## no-interference smoke, the dimensional-KPI smoke, the many-UE cell smoke,
+## and the benchmark-harness smoke
+check: lint build race sweep-smoke flight-smoke kpi-smoke cell-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -132,6 +132,23 @@ kpi-smoke:
 	if $$tmp/urllc-report $$tmp/future.jsonl >/dev/null 2>&1; then \
 		echo "kpi-smoke FAIL: future slots schema did not error"; exit 1; fi && \
 	echo "kpi-smoke OK: stdout untouched, sections rendered, ledger merge worker-invariant ($$tmp)" && rm -rf $$tmp
+
+## cell-smoke: the many-UE cell contract, end to end — the CG-vs-dynamic
+## experiment must regenerate byte-identically across -parallel worker counts,
+## its table must carry both access modes, and the 500-machine KPI run must
+## render per-UE fairness and the reliability-CCDF latency bounds
+cell-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/urllc-experiments ./cmd/urllc-experiments && \
+	$$tmp/urllc-experiments -run cellcg -seed 7 -parallel 1 > $$tmp/c1.out && \
+	$$tmp/urllc-experiments -run cellcg -seed 7 -parallel 8 > $$tmp/c8.out && \
+	cmp $$tmp/c1.out $$tmp/c8.out && \
+	grep -q 'grant-free' $$tmp/c1.out && \
+	grep -q 'dynamic-grant' $$tmp/c1.out && \
+	$$tmp/urllc-experiments -run cellkpi -seed 7 > $$tmp/kpi.out && \
+	grep -q 'Jain(throughput)' $$tmp/kpi.out && \
+	grep -q 'latency bound at CCDF' $$tmp/kpi.out && \
+	echo "cell-smoke OK: CG-vs-dynamic worker-invariant, per-UE KPIs rendered ($$tmp)" && rm -rf $$tmp
 
 ## sweep-smoke: a small parallel config grid must reproduce the sequential
 ## golden byte-for-byte — the worker-count-invariance contract, end to end

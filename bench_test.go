@@ -8,13 +8,14 @@
 // b.ReportMetric, so `go test -bench` output doubles as the reproduction
 // record. Correctness assertions live in the package tests; benchmarks only
 // guard against silent regression of the headline numbers.
-package urllcsim
+package urllcsim_test
 
 import (
 	"strings"
 	"testing"
 	"time"
 
+	"urllcsim"
 	"urllcsim/internal/core"
 	"urllcsim/internal/experiments"
 	"urllcsim/internal/nr"
@@ -194,8 +195,8 @@ func BenchmarkMultiUE(b *testing.B) {
 // packets simulated per second (engineering metric, not a paper artefact).
 func BenchmarkScenarioThroughput(b *testing.B) {
 	b.ReportAllocs()
-	sc, err := NewScenario(ScenarioConfig{
-		Pattern: PatternDDDU, SlotScale: Slot0p5ms, Radio: RadioUSB2, Seed: 1,
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDDDU, SlotScale: urllcsim.Slot0p5ms, Radio: urllcsim.RadioUSB2, Seed: 1,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"urllcsim"
+	"urllcsim/internal/cell"
 	"urllcsim/internal/core"
 	"urllcsim/internal/nr"
 	"urllcsim/internal/obs"
@@ -74,6 +75,16 @@ func Suite() []Benchmark {
 			Desc:  "4-replica scenario sweep on 4 workers",
 			Heavy: true,
 			F:     sweepScaling(4),
+		},
+		{
+			Name: "CellDynamic",
+			Desc: "128-UE dynamic-grant cell through the real scheduler (UEs/sec)",
+			F:    cellRun(cell.ModeDynamic),
+		},
+		{
+			Name: "CellGrantFree",
+			Desc: "128-UE grant-free cell with CG contention and backoff (UEs/sec)",
+			F:    cellRun(cell.ModeGrantFree),
 		},
 		{
 			Name: "EngineSchedule",
@@ -216,6 +227,33 @@ func sweepScaling(workers int) func(b *testing.B) {
 			}
 		}
 		b.ReportMetric(float64(events)/b.Elapsed().Seconds(), "events/sec")
+	}
+}
+
+// cellRun is one whole many-UE cell per op: 128 machines, 4 cycles each,
+// through the full scheduler/node stack. UEs/sec is the cell layer's
+// capacity-planning number — how many concurrently active machines one
+// wall-clock second of simulation buys at this load.
+func cellRun(mode cell.Mode) func(b *testing.B) {
+	return func(b *testing.B) {
+		b.ReportAllocs()
+		const ues, cycles = 128, 4
+		for i := 0; i < b.N; i++ {
+			res, err := cell.Run(cell.Config{
+				UEs:    ues,
+				Mode:   mode,
+				Cycles: cycles,
+				Period: 20 * time.Millisecond,
+				Seed:   uint64(i + 1),
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			if res.Offered != ues*cycles {
+				b.Fatalf("offered %d, want %d", res.Offered, ues*cycles)
+			}
+		}
+		b.ReportMetric(float64(b.N)*ues/b.Elapsed().Seconds(), "UEs/sec")
 	}
 }
 

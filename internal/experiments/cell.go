@@ -1,0 +1,156 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"urllcsim/internal/cell"
+	"urllcsim/internal/obs"
+	"urllcsim/internal/obs/analyze"
+	"urllcsim/internal/sweep"
+)
+
+// CellCG reproduces the shape of the ns-3 5G LENA configured-grant study
+// (PAPERS.md): N periodic Industry-4.0 machines in one cell, configured
+// (grant-free) versus dynamic-grant uplink. In-sim — every machine flows
+// through the real scheduler, CG collisions resolve on shared contention
+// units — rather than by the closed forms of gfscaling. One sweep job per
+// (N, mode) point, rows assembled in shard order, so -parallel output is
+// byte-identical for any worker count.
+func CellCG(seed uint64, workers int) (string, error) {
+	const (
+		period  = 20 * time.Millisecond
+		cycles  = 5
+		cgUnits = 12
+	)
+	counts := []int{16, 64, 128, 256, 500}
+	modes := []cell.Mode{cell.ModeGrantFree, cell.ModeDynamic}
+	type point struct {
+		r    *cell.Result
+		p99  float64
+		mode cell.Mode
+	}
+	pts, err := sweep.Run(workers, len(counts)*len(modes), func(i int) (point, error) {
+		n, mode := counts[i/len(modes)], modes[i%len(modes)]
+		rec := obs.NewRecorder()
+		r, err := cell.Run(cell.Config{
+			UEs:     n,
+			Mode:    mode,
+			CGUnits: cgUnits,
+			Period:  period,
+			Cycles:  cycles,
+			Seed:    sweep.Seed(seed, i),
+			Obs:     rec,
+		})
+		if err != nil {
+			return point{}, err
+		}
+		var p99 float64
+		rep := analyze.ComputeKPI(analyze.FromRecorder(rec), "")
+		for _, d := range rep.Dirs {
+			if d.Dir == obs.DirUL {
+				var sum float64
+				cnt := 0
+				for _, u := range rep.UEs {
+					if u.Dir == obs.DirUL && u.Delivered > 0 {
+						sum += u.P99Us
+						cnt++
+					}
+				}
+				if cnt > 0 {
+					p99 = sum / float64(cnt)
+				}
+			}
+		}
+		return point{r: r, p99: p99, mode: mode}, nil
+	})
+	if err != nil {
+		return "", err
+	}
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "N periodic machines, %v cycle, 32B telegrams, DU µ1, %d shared CG units/UL slot\n", period, cgUnits)
+	fmt.Fprintf(&sb, "(in-sim through the real scheduler; cf. the analytic gfscaling table)\n\n")
+	fmt.Fprintf(&sb, "%-6s | %-13s | %10s %10s %12s %12s\n",
+		"UEs", "mode", "delivered", "lost", "collisions", "mean p99")
+	for i, pt := range pts {
+		n := counts[i/len(modes)]
+		coll := "-"
+		if pt.mode == cell.ModeGrantFree {
+			coll = fmt.Sprintf("%d", pt.r.CGCollisions)
+		}
+		fmt.Fprintf(&sb, "%-6d | %-13s | %10d %10d %12s %9.3fms\n",
+			n, pt.mode, pt.r.Delivered, pt.r.Lost, coll, pt.p99/1e3)
+	}
+	sb.WriteString("\ngrant-free keeps latency flat until shared units saturate, then collisions\n")
+	sb.WriteString("cascade into HARQ-exhaustion losses; dynamic grant stays reliable and pays\n")
+	sb.WriteString("the SR/grant handshake instead — the LENA study's trade-off, in one cell\n")
+	return sb.String(), nil
+}
+
+// CellKPI runs the 500-machine cell once and renders its per-UE KPI pass —
+// AoI, Jain fairness and the reliability CCDF — as the report excerpt (worst
+// UEs only; 500 rows belong in -kpi-out, not a table).
+func CellKPI(seed uint64, _ int) (string, error) {
+	rec := obs.NewRecorder()
+	rec.EnableSlotLedger()
+	res, err := cell.Run(cell.Config{
+		UEs:    500,
+		Cycles: 5,
+		Seed:   seed,
+		Obs:    rec,
+	})
+	if err != nil {
+		return "", err
+	}
+	rep := analyze.ComputeKPI(analyze.FromRecorder(rec), "cell500")
+
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "500 machines, 50ms cycle, dynamic grant, DU µ1, round-robin fairness\n\n")
+	fmt.Fprintf(&sb, "delivered %d/%d  lost %d  pending %d  SRs %d  grants %d  worst UL %.3fms\n\n",
+		res.Delivered, res.Offered, res.Lost, res.Pending,
+		res.SRsSent, res.GrantsIssued, float64(res.WorstUL)/1e6)
+	for _, d := range rep.Dirs {
+		fmt.Fprintf(&sb, "%s: %d UEs, Jain(throughput)=%.4f Jain(latency)=%.4f\n",
+			d.Dir, d.UEs, d.JainThroughput, d.JainLatency)
+		for _, target := range []float64{1e-2, 1e-3} {
+			if us, ok := analyze.LatencyAtCCDF(d.CCDF, target); ok {
+				fmt.Fprintf(&sb, "  latency bound at CCDF %.0e: %.3fms\n", target, us/1e3)
+			}
+		}
+	}
+
+	// Worst five UEs by p99 — the tail the mean hides.
+	worst := make([]analyze.UEKPI, 0, len(rep.UEs))
+	for _, u := range rep.UEs {
+		if u.Dir == obs.DirUL {
+			worst = append(worst, u)
+		}
+	}
+	for i := 0; i < len(worst); i++ {
+		for j := i + 1; j < len(worst); j++ {
+			if worst[j].P99Us > worst[i].P99Us {
+				worst[i], worst[j] = worst[j], worst[i]
+			}
+		}
+	}
+	if len(worst) > 5 {
+		worst = worst[:5]
+	}
+	fmt.Fprintf(&sb, "\n%-6s | %8s %8s %10s %10s\n", "UE", "p50", "p99", "AoI peak", "AoI mean")
+	for _, u := range worst {
+		fmt.Fprintf(&sb, "%-6d | %6.0fµs %6.0fµs %8.2fms %8.2fms\n",
+			u.UE, u.P50Us, u.P99Us, u.AoIPeakUs/1e3, u.AoIMeanUs/1e3)
+	}
+	sb.WriteString("\nevery machine's AoI sawtooth stays bounded by cycle+delivery latency —\n")
+	sb.WriteString("the cell is schedulable at 500 URLLC machines on this configuration\n")
+	return sb.String(), nil
+}
+
+func init() {
+	All = append(All,
+		Experiment{ID: "cellcg", Title: "C1 — many-UE cell: configured vs dynamic grant (LENA)", Run: CellCG},
+		Experiment{ID: "cellkpi", Title: "C2 — 500-machine cell per-UE KPIs (AoI, Jain, CCDF)", Run: CellKPI},
+	)
+}

@@ -20,6 +20,7 @@ const (
 	cGrantsIssued = "sched.grants_issued" // SR→grant handshakes completed
 	cRadioMisses  = "sched.radio_misses"  // slots lost to late radio readiness (§4)
 	cSRsSent      = "ul.srs_sent"
+	cCGCollision  = "cg.collision" // grant-free TBs lost to a shared-unit collision
 	cHARQRetx     = "harq.retx"
 	cCRCFailures  = "phy.crc_failures" // transport blocks lost on air
 	cRLCRxDrops   = "rlc.rx_drops"     // PDUs dropped in a receive chain

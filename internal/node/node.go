@@ -39,6 +39,23 @@ type Config struct {
 	// handshake for UL.
 	GrantFree bool
 
+	// CGUnits shares the grant-free allocation between UEs: each UL slot
+	// carries CGUnits contention units and every grant-free transmission
+	// picks one at random; two or more UEs on the same (slot, unit) is a
+	// CRC-style collision — all of them lose the TB and retry after a
+	// random backoff (the in-sim form of §9's grant-free scalability
+	// problem). 0 keeps the legacy dedicated allocation with no contention.
+	CGUnits int
+
+	// CGBackoffSlots is the collision backoff window: a collided UE skips
+	// a uniform number of UL opportunities in [0, CGBackoffSlots) before
+	// retransmitting. Only meaningful with CGUnits > 0; 0 → 8.
+	CGBackoffSlots int
+
+	// Fairness orders eligible SRs at each scheduling tick (sched.FairFIFO
+	// default; sched.FairRoundRobin for many-UE cells).
+	Fairness sched.Fairness
+
 	GNBProfile *proc.Profile
 	UEProfile  *proc.Profile
 
@@ -126,6 +143,9 @@ func (c *Config) setDefaults() error {
 	if c.NUEs <= 0 {
 		c.NUEs = 1
 	}
+	if c.CGUnits > 0 && c.CGBackoffSlots <= 0 {
+		c.CGBackoffSlots = 8
+	}
 	if c.PayloadBytes <= 0 {
 		c.PayloadBytes = 32
 	}
@@ -148,6 +168,7 @@ type Counters struct {
 	PHYLosses    int // transport blocks lost on air
 	SRsSent      int
 	GrantsIssued int
+	CGCollisions int // grant-free TBs lost to a shared-unit collision
 }
 
 // System is one running simulation.
@@ -188,8 +209,18 @@ type System struct {
 	dlItems map[int]*dlPacket // RLC-queue id → packet context
 
 	// pendingSRPackets pairs issued grants back to the UL packets whose SRs
-	// triggered them (FIFO — grants are issued in SR order).
+	// triggered them, matched by (UE, SR-reception instant).
 	pendingSRPackets []*ulPacket
+
+	// cgReg registers grant-free transmissions per (UL slot, contention
+	// unit) so collisions resolve in-sim: slot start → unit → tx count.
+	// Only populated when Config.CGUnits > 0; entries for ended slots are
+	// swept lazily on registration.
+	cgReg map[sim.Time]map[int]int
+	// cgRNGs drive each UE's unit pick and collision backoff. Seeded from
+	// (Seed, UE) alone — independent of the main channel/processing stream
+	// and of how many UEs are active.
+	cgRNGs map[int]*sim.RNG
 
 	// Table 2 instrumentation.
 	layerStats map[string]*metrics.Accumulator
@@ -249,6 +280,7 @@ func NewSystem(cfg Config) (*System, error) {
 		DLSlotBytes: slotBytes(cfg.Grid),
 		ULSlotBytes: slotBytes(cfg.ULGrid),
 		GrantBytes:  cfg.PayloadBytes + 64,
+		Fairness:    cfg.Fairness,
 	})
 	if err != nil {
 		return nil, err
@@ -292,6 +324,8 @@ func NewSystem(cfg Config) (*System, error) {
 		ueMAC:      &stack.MAC{LCID: 4},
 		gnbMACRx:   &stack.MAC{LCID: 4},
 		dlItems:    map[int]*dlPacket{},
+		cgReg:      map[sim.Time]map[int]int{},
+		cgRNGs:     map[int]*sim.RNG{},
 		layerStats: map[string]*metrics.Accumulator{},
 		done:       map[int]bool{},
 		pingByUL:   map[int]*pingCtx{},

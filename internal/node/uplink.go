@@ -24,6 +24,12 @@ type ulPacket struct {
 	srRecvAt sim.Time // gNB finished decoding this packet's SR
 	attempts int
 	bd       *core.Breakdown
+
+	// cgSlot/cgUnit pin the current grant-free transmission to its shared
+	// contention unit (Config.CGUnits > 0). cgUnit is −1 whenever no
+	// contended transmission is in flight.
+	cgSlot sim.Time
+	cgUnit int
 }
 
 // OfferUL injects one UL application packet at the UE at time at.
@@ -38,7 +44,7 @@ func (s *System) OfferUL(at sim.Time, payload []byte) int {
 func (s *System) OfferULAs(ue int, at sim.Time, payload []byte) int {
 	id := s.nextID
 	s.nextID++
-	p := &ulPacket{id: id, ue: ue, data: payload, offered: at, bd: &core.Breakdown{}}
+	p := &ulPacket{id: id, ue: ue, data: payload, offered: at, bd: &core.Breakdown{}, cgUnit: -1}
 	s.Eng.Schedule(at, "ul.offer", func() {
 		// ① UE APP↓: SDAP/PDCP/RLC processing before the MAC can act.
 		d := s.sampleUE(proc.LayerSDAP) + s.sampleUE(proc.LayerPDCP) + s.sampleUE(proc.LayerRLC)
@@ -88,13 +94,25 @@ func (s *System) ulSendSR(p *ulPacket) {
 }
 
 // deliverGrant carries an issued grant to the UE on the DL control of slot
-// targetDL (⑤ in Fig. 3) and arms the granted transmission.
+// targetDL (⑤ in Fig. 3) and arms the granted transmission. Grants are
+// paired to packets by (UE, SR-reception instant) — the scheduler may defer
+// or reorder SRs across ticks (capacity horizon, round-robin fairness), so
+// global FIFO order is no longer guaranteed. A split grant's remainder
+// carries the same InResponseTo as the already-served head and pairs with
+// nothing: it is dropped here rather than stealing another packet's turn.
 func (s *System) deliverGrant(targetDL sim.Time, g sched.Grant) {
-	if len(s.pendingSRPackets) == 0 {
+	idx := -1
+	for i, q := range s.pendingSRPackets {
+		if q.ue == g.UE && q.srRecvAt == g.InResponseTo {
+			idx = i
+			break
+		}
+	}
+	if idx < 0 {
 		return
 	}
-	p := s.pendingSRPackets[0]
-	s.pendingSRPackets = s.pendingSRPackets[1:]
+	p := s.pendingSRPackets[idx]
+	s.pendingSRPackets = append(s.pendingSRPackets[:idx], s.pendingSRPackets[idx+1:]...)
 	s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeGrantIssued,
 		Time: s.Eng.Now(), Ref: g.SlotStart, Arg: int64(s.Eng.Now().Sub(p.srRecvAt))})
 	sym := s.cfg.Grid.Mu.SymbolDuration()
@@ -123,10 +141,70 @@ func (s *System) ulTransmitOnGrantFree(p *ulPacket) {
 		return
 	}
 	s.seg(p.bd, p.id, obs.DirUL, obs.LayerMAC, "UE MAC+PHY prep", core.Processing, p.ready, lead)
+	if s.cfg.CGUnits > 0 {
+		// Shared pre-allocation: pick one of the slot's contention units.
+		// Every contender registers strictly before the slot starts, so the
+		// collision verdict at TB-reception time sees the full census.
+		p.cgSlot = g.SlotStart
+		p.cgUnit = s.cgRNG(p.ue).Intn(s.cfg.CGUnits)
+		s.cgRegister(g.SlotStart, p.cgUnit)
+	}
 	// The slot wait starts when the UE's preparation ends, not at the
 	// current event time — otherwise prep and wait would overlap and the
 	// journey would double-count the lead.
 	s.ulTransmitAt(p, g.SlotStart, p.ready.Add(lead))
+}
+
+// cgRNG returns UE ue's grant-free contention stream, derived from the seed
+// and the UE id alone so a UE's picks do not depend on who else is active.
+func (s *System) cgRNG(ue int) *sim.RNG {
+	r, ok := s.cgRNGs[ue]
+	if !ok {
+		r = sim.NewRNG(s.cfg.Seed ^ sim.SplitMix64(0xC6C0DE^uint64(ue)))
+		s.cgRNGs[ue] = r
+	}
+	return r
+}
+
+// cgRegister books one grant-free transmission onto (slot, unit) and sweeps
+// bookings of slots that have fully ended.
+func (s *System) cgRegister(slot sim.Time, unit int) {
+	now := s.Eng.Now()
+	dur := s.cfg.ULGrid.Mu.SlotDuration()
+	for t := range s.cgReg {
+		if t.Add(dur) <= now {
+			delete(s.cgReg, t)
+		}
+	}
+	m := s.cgReg[slot]
+	if m == nil {
+		m = map[int]int{}
+		s.cgReg[slot] = m
+	}
+	m[unit]++
+}
+
+// cgCollided reports whether the packet's in-flight grant-free transmission
+// shared its contention unit with another UE.
+func (s *System) cgCollided(p *ulPacket) bool {
+	return p.cgUnit >= 0 && s.cgReg[p.cgSlot][p.cgUnit] >= 2
+}
+
+// cgBackoffReady returns the retry-ready instant after a collision: the UE
+// skips a uniform number of UL opportunities in [0, CGBackoffSlots) so two
+// collided UEs decorrelate instead of marching in lock-step forever.
+func (s *System) cgBackoffReady(ue int, from sim.Time) sim.Time {
+	skip := s.cgRNG(ue).Intn(s.cfg.CGBackoffSlots)
+	t := from
+	dur := s.cfg.ULGrid.Mu.SlotDuration()
+	for i := 0; i < skip; i++ {
+		g, ok := s.sch.ConfiguredGrant(ue, t)
+		if !ok {
+			return from
+		}
+		t = g.SlotStart.Add(dur)
+	}
+	return t
 }
 
 // ulTransmitAt performs the UL data transmission in the UL region of the
@@ -139,6 +217,15 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 		// The granted slot already passed (pathological margins): fall
 		// forward to the next UL opportunity.
 		if g, ok := s.sch.ConfiguredGrant(p.ue, now); ok {
+			if p.cgUnit >= 0 {
+				// Move the contention booking along with the transmission:
+				// the packet never went on air in the old slot, so it must
+				// not count as a contender there.
+				s.cgReg[p.cgSlot][p.cgUnit]--
+				p.cgSlot = g.SlotStart
+				p.cgUnit = s.cgRNG(p.ue).Intn(s.cfg.CGUnits)
+				s.cgRegister(p.cgSlot, p.cgUnit)
+			}
 			slotStart = g.SlotStart
 		} else {
 			s.finishUL(p, now, false)
@@ -188,9 +275,20 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 	s.harqLaunch(1)
 	s.Eng.Schedule(onAirEnd, "ul.rx", func() {
 		s.harqResolve(1)
-		if txErr != nil {
-			s.counters.PHYLosses++
-			s.obs.Count(cCRCFailures, 1)
+		// Shared-grant contention resolves here: every UE that picked this
+		// (slot, unit) registered before the slot started, so the census is
+		// complete by reception time. Two or more → the TB is unrecoverable
+		// for all of them, like a CRC failure.
+		collided := s.cgCollided(p)
+		if collided {
+			s.counters.CGCollisions++
+			s.obs.Count(cCGCollision, 1)
+		}
+		if txErr != nil || collided {
+			if txErr != nil {
+				s.counters.PHYLosses++
+				s.obs.Count(cCRCFailures, 1)
+			}
 			p.attempts++
 			s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeCRCFail,
 				Time: onAirEnd, Arg: int64(p.attempts)})
@@ -199,12 +297,17 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 				return
 			}
 			// HARQ: retransmit in the next UL opportunity (grant-free) or
-			// after a fresh SR (grant-based).
+			// after a fresh SR (grant-based). A collision additionally backs
+			// off a random number of UL slots before the retry.
 			s.obs.Count(cHARQRetx, 1)
 			s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeHARQRetx,
 				Time: onAirEnd, Arg: int64(p.attempts + 1)})
 			s.seg(p.bd, p.id, obs.DirUL, obs.LayerMAC, "HARQ retransmission", core.Protocol, ulStart, air)
 			p.ready = onAirEnd
+			if collided {
+				p.ready = s.cgBackoffReady(p.ue, onAirEnd)
+			}
+			p.cgSlot, p.cgUnit = 0, -1
 			if s.cfg.GrantFree {
 				s.ulTransmitOnGrantFree(p)
 			} else {

@@ -444,10 +444,10 @@ func ReadKPIJSONL(r io.Reader) (*KPIFile, error) {
 // level, down to the URLLC 1e-5 regime.
 var ccdfTargets = []float64{1e-1, 1e-2, 1e-3, 1e-4, 1e-5}
 
-// latencyAtCCDF returns the smallest recorded latency bound whose CCDF is
+// LatencyAtCCDF returns the smallest recorded latency bound whose CCDF is
 // ≤ target, and ok=false when the curve never gets there (not enough
 // samples or a heavy tail).
-func latencyAtCCDF(points []CCDFPoint, target float64) (float64, bool) {
+func LatencyAtCCDF(points []CCDFPoint, target float64) (float64, bool) {
 	for _, p := range points {
 		if p.CCDF <= target {
 			return p.LeUs, true
@@ -490,7 +490,7 @@ func WriteKPIMarkdown(w io.Writer, rep *KPIReport) error {
 			fmt.Fprintf(bw, "\nReliability (latency bound at P(latency > t) ≤ target):\n\n")
 			fmt.Fprintf(bw, "| target | latency bound (µs) |\n|---:|---:|\n")
 			for _, target := range ccdfTargets {
-				if le, ok := latencyAtCCDF(d.CCDF, target); ok {
+				if le, ok := LatencyAtCCDF(d.CCDF, target); ok {
 					fmt.Fprintf(bw, "| %.0e | %.2f |\n", target, le)
 				} else {
 					fmt.Fprintf(bw, "| %.0e | not reached |\n", target)

@@ -8,6 +8,7 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"urllcsim/internal/nr"
 	"urllcsim/internal/sim"
@@ -61,7 +62,26 @@ type Plan struct {
 	DLCapBytes  int
 	DLUsedBytes int
 	SRsDeferred int
+
+	// SRsSplit counts requests larger than one slot's transport capacity
+	// that were served by a capped grant at this boundary with the remainder
+	// requeued for a later tick (capacity splitting).
+	SRsSplit int
 }
+
+// Fairness selects the order in which eligible SRs compete for UL capacity
+// at a scheduling instant.
+type Fairness int
+
+const (
+	// FairFIFO grants strictly in SR-reception order — the single-UE
+	// testbed behaviour (§7), where one slow UE can starve the rest.
+	FairFIFO Fairness = iota
+	// FairRoundRobin interleaves grants one-per-UE per round, rotating the
+	// starting UE across ticks, so a UE with a deep backlog cannot capture
+	// every UL slot while others wait (multi-UE cells).
+	FairRoundRobin
+)
 
 // Config parameterises the scheduler.
 type Config struct {
@@ -86,6 +106,16 @@ type Config struct {
 
 	// GrantBytes is the default UL grant size when the SR carries no BSR.
 	GrantBytes int
+
+	// Fairness orders eligible SRs at each tick; zero value is FairFIFO.
+	Fairness Fairness
+
+	// GrantHorizonSlots bounds how many UL-capable slots beyond the
+	// earliest eligible one the capacity walk may examine for a single SR.
+	// When every slot in the horizon is full the SR is deferred to a later
+	// tick instead of being promised a slot arbitrarily far in the future.
+	// 0 → 64.
+	GrantHorizonSlots int
 }
 
 // Scheduler holds the gNB-side scheduling state.
@@ -96,6 +126,9 @@ type Scheduler struct {
 	// grantedUL tracks slots already promised to a UE so two grants do not
 	// collide on the same slot's capacity.
 	grantedUL map[sim.Time]int // slot start → bytes already granted
+	// rrLast is the UE served first at the previous round-robin tick; the
+	// next tick's round starts strictly after it.
+	rrLast int
 }
 
 // New returns a scheduler.
@@ -115,7 +148,10 @@ func New(cfg Config) (*Scheduler, error) {
 	if cfg.ULGrid == nil {
 		cfg.ULGrid = cfg.Grid
 	}
-	return &Scheduler{cfg: cfg, grantedUL: map[sim.Time]int{}}, nil
+	if cfg.GrantHorizonSlots <= 0 {
+		cfg.GrantHorizonSlots = 64
+	}
+	return &Scheduler{cfg: cfg, grantedUL: map[sim.Time]int{}, rrLast: -1}, nil
 }
 
 // OnSR records a decoded scheduling request.
@@ -128,6 +164,11 @@ func (s *Scheduler) PendingSRs() int { return len(s.pendingSR) }
 
 // slotDur returns the slot duration of the grid.
 func (s *Scheduler) slotDur() sim.Duration { return s.cfg.Grid.Mu.SlotDuration() }
+
+// ulSlotDur returns the slot duration of the uplink timeline (== slotDur for
+// TDD; FDD pairs carriers of the same numerology, but the UL grid is the
+// authority for UL slot extents).
+func (s *Scheduler) ulSlotDur() sim.Duration { return s.cfg.ULGrid.Mu.SlotDuration() }
 
 // slotIsDLCapable reports whether the slot starting at t has at least
 // needSyms leading DL (or flexible) symbols.
@@ -142,10 +183,10 @@ func (s *Scheduler) nextULSlot(t sim.Time) (sim.Time, bool) {
 	g := s.cfg.ULGrid
 	start := g.SlotStart(t)
 	if start < t {
-		start = start.Add(s.slotDur())
+		start = start.Add(s.ulSlotDur())
 	}
 	for i := 0; i <= g.Slots()+1; i++ {
-		slot := start.Add(sim.Duration(i) * s.slotDur())
+		slot := start.Add(sim.Duration(i) * s.ulSlotDur())
 		sym := g.SymbolAt(slot)
 		run := 0
 		for k := 0; k < nr.SymbolsPerSlot; k++ {
@@ -198,34 +239,37 @@ func (s *Scheduler) Tick(b sim.Time, dlQueue []DLItem) Plan {
 
 		// --- UL grants ride the DL control of the same planned slot ---
 		earliestUL := target.Add(sim.Duration(1+s.cfg.K2Slots) * s.slotDur())
-		var still []SRRequest
+		var still, eligible []SRRequest
 		for _, sr := range s.pendingSR {
 			if sr.RecvAt > b {
 				still = append(still, sr) // decoded after this boundary
 				continue
 			}
-			ulSlot, ok := s.nextULSlot(earliestUL)
+			eligible = append(eligible, sr)
+		}
+		if s.cfg.Fairness == FairRoundRobin {
+			eligible = s.rrOrder(eligible)
+		}
+		for _, sr := range eligible {
+			g, rem, ok := s.placeUL(sr, earliestUL)
 			if !ok {
+				// No slot within the grant horizon has room (or the UL grid
+				// carries no UL slot at all): the SR waits out the tick.
 				still = append(still, sr)
 				plan.SRsDeferred++
 				continue
 			}
-			// Walk forward past slots whose capacity is exhausted.
-			bytes := sr.Bytes
-			if bytes <= 0 {
-				bytes = s.cfg.GrantBytes
+			s.grantedUL[g.SlotStart] += g.Bytes
+			plan.ULGrants = append(plan.ULGrants, g)
+			if rem.Bytes > 0 {
+				// Capacity splitting: the request exceeded one slot; the
+				// capped remainder competes again at the next tick.
+				still = append(still, rem)
+				plan.SRsSplit++
 			}
-			for s.grantedUL[ulSlot]+bytes > s.cfg.ULSlotBytes {
-				next, ok2 := s.nextULSlot(ulSlot.Add(s.slotDur()))
-				if !ok2 {
-					break
-				}
-				ulSlot = next
-			}
-			s.grantedUL[ulSlot] += bytes
-			plan.ULGrants = append(plan.ULGrants, Grant{
-				UE: sr.UE, SlotStart: ulSlot, Bytes: bytes, InResponseTo: sr.RecvAt,
-			})
+		}
+		if s.cfg.Fairness == FairRoundRobin && len(plan.ULGrants) > 0 {
+			s.rrLast = plan.ULGrants[0].UE
 		}
 		s.pendingSR = still
 	} else {
@@ -238,13 +282,96 @@ func (s *Scheduler) Tick(b sim.Time, dlQueue []DLItem) Plan {
 		}
 	}
 
-	// Garbage-collect capacity bookkeeping for past slots.
+	// Garbage-collect capacity bookkeeping, but only for slots that have
+	// fully ended: a granted PUSCH in a slot that merely *started* before
+	// this boundary may still be on air, and its booking must survive until
+	// the slot closes.
 	for t := range s.grantedUL {
-		if t < b {
+		if t.Add(s.ulSlotDur()) <= b {
 			delete(s.grantedUL, t)
 		}
 	}
 	return plan
+}
+
+// placeUL finds UL capacity for one eligible SR at or after earliestUL. The
+// returned grant is capped at one slot's transport capacity; when the request
+// was larger, the remainder comes back as a non-empty SRRequest to requeue
+// (same RecvAt, so its latency history survives the split). ok=false means no
+// slot within the grant horizon had room and the SR must be deferred — the
+// grant is NOT booked into grantedUL here; the caller does that, keeping the
+// walk side-effect-free on failure.
+func (s *Scheduler) placeUL(sr SRRequest, earliestUL sim.Time) (g Grant, rem SRRequest, ok bool) {
+	bytes := sr.Bytes
+	if bytes <= 0 {
+		bytes = s.cfg.GrantBytes
+	}
+	// A request larger than a whole slot can never fit one grant: cap it at
+	// the slot capacity and split the rest off. (Previously the capacity
+	// walk compared the uncapped request against every slot, a condition
+	// that holds even for empty slots — the walk never terminated.)
+	grantBytes := bytes
+	if grantBytes > s.cfg.ULSlotBytes {
+		grantBytes = s.cfg.ULSlotBytes
+	}
+	ulSlot, found := s.nextULSlot(earliestUL)
+	if !found {
+		return Grant{}, SRRequest{}, false
+	}
+	// Walk forward past slots whose capacity is exhausted, giving up at the
+	// horizon. (Previously a failed lookup broke out of the walk and booked
+	// the grant onto the exhausted slot anyway, pushing grantedUL past
+	// ULSlotBytes.)
+	for walked := 0; s.grantedUL[ulSlot]+grantBytes > s.cfg.ULSlotBytes; walked++ {
+		if walked >= s.cfg.GrantHorizonSlots {
+			return Grant{}, SRRequest{}, false
+		}
+		next, found := s.nextULSlot(ulSlot.Add(s.ulSlotDur()))
+		if !found {
+			return Grant{}, SRRequest{}, false
+		}
+		ulSlot = next
+	}
+	g = Grant{UE: sr.UE, SlotStart: ulSlot, Bytes: grantBytes, InResponseTo: sr.RecvAt}
+	if bytes > grantBytes {
+		rem = SRRequest{UE: sr.UE, RecvAt: sr.RecvAt, Bytes: bytes - grantBytes}
+	}
+	return g, rem, true
+}
+
+// rrOrder reorders eligible SRs for round-robin fairness: one SR per UE per
+// round (FIFO within a UE), UEs ascending, each tick's round starting with
+// the first UE strictly after the one that opened the previous round.
+func (s *Scheduler) rrOrder(srs []SRRequest) []SRRequest {
+	if len(srs) < 2 {
+		return srs
+	}
+	perUE := map[int][]SRRequest{}
+	var ues []int
+	for _, sr := range srs {
+		if _, seen := perUE[sr.UE]; !seen {
+			ues = append(ues, sr.UE)
+		}
+		perUE[sr.UE] = append(perUE[sr.UE], sr)
+	}
+	sort.Ints(ues)
+	start := 0
+	for i, ue := range ues {
+		if ue > s.rrLast {
+			start = i
+			break
+		}
+	}
+	out := make([]SRRequest, 0, len(srs))
+	for round := 0; len(out) < len(srs); round++ {
+		for i := 0; i < len(ues); i++ {
+			ue := ues[(start+i)%len(ues)]
+			if q := perUE[ue]; round < len(q) {
+				out = append(out, q[round])
+			}
+		}
+	}
+	return out
 }
 
 // ConfiguredGrant returns the standing grant-free allocation for a UE at or

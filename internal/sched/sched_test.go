@@ -204,6 +204,179 @@ func TestMixedSlotULRegion(t *testing.T) {
 	}
 }
 
+// TestOversizedBSRTerminatesAndSplits: an SR whose buffer estimate exceeds a
+// whole slot's transport capacity must terminate the capacity walk (the walk
+// previously never terminated — its condition held even for empty slots) and
+// be served as a capped grant per tick with the remainder requeued.
+func TestOversizedBSRTerminatesAndSplits(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	s.OnSR(SRRequest{UE: 5, RecvAt: 0, Bytes: 9500}) // 4000B UL slots → 3 grants
+
+	granted := 0
+	ticks := 0
+	for b := slot; granted < 9500 && ticks < 64; b, ticks = b+slot, ticks+1 {
+		plan := s.Tick(b, nil)
+		for _, g := range plan.ULGrants {
+			if g.UE != 5 {
+				t.Fatalf("grant for wrong UE: %+v", g)
+			}
+			if g.Bytes > 4000 {
+				t.Fatalf("grant exceeds slot capacity: %+v", g)
+			}
+			granted += g.Bytes
+		}
+		if len(plan.ULGrants) > 0 && plan.SRsSplit == 0 && granted < 9500 {
+			t.Fatalf("split grant not counted: %+v", plan)
+		}
+	}
+	if granted != 9500 {
+		t.Fatalf("granted %dB of 9500B after %d ticks", granted, ticks)
+	}
+	if s.PendingSRs() != 0 {
+		t.Fatalf("split remainder left pending: %d", s.PendingSRs())
+	}
+}
+
+// TestHorizonFullDefersInsteadOfOvercommit: when every UL slot within the
+// grant horizon is already at capacity, the SR must be deferred (counted in
+// SRsDeferred, kept pending) — never booked onto an exhausted slot, which
+// previously pushed grantedUL past ULSlotBytes.
+func TestHorizonFullDefersInsteadOfOvercommit(t *testing.T) {
+	g, err := nr.BuildGrid(nr.CommonConfig{Mu: nr.Mu1, Pattern1: nr.PatternDDDU(nr.Mu1)}, 2, "DDDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Grid: g, MarginSlots: 1, K2Slots: 1,
+		DLSlotBytes: 5000, ULSlotBytes: 4000, GrantBytes: 200, GrantHorizonSlots: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A 2-step horizon reaches the earliest eligible UL slot plus two more:
+	// 3×4000B of capacity. Offer 5 SRs of 4000B; the first three fill the
+	// horizon, the remaining two must defer.
+	for i := 0; i < 5; i++ {
+		s.OnSR(SRRequest{UE: i, RecvAt: 0, Bytes: 4000})
+	}
+	plan := s.Tick(slot, nil)
+	if len(plan.ULGrants) == 0 {
+		t.Fatal("no grants at all")
+	}
+	if plan.SRsDeferred == 0 {
+		t.Fatalf("horizon exhausted but nothing deferred: %+v", plan)
+	}
+	if len(plan.ULGrants)+plan.SRsDeferred != 5 {
+		t.Fatalf("grants %d + deferred %d != 5 SRs", len(plan.ULGrants), plan.SRsDeferred)
+	}
+	if s.PendingSRs() != plan.SRsDeferred {
+		t.Fatalf("deferred SRs dropped: %d pending, %d deferred", s.PendingSRs(), plan.SRsDeferred)
+	}
+	for slotStart, bytes := range s.grantedUL {
+		if bytes > 4000 {
+			t.Fatalf("slot %v over-committed: %dB > 4000B", slotStart, bytes)
+		}
+	}
+	// Deferred SRs are served once earlier bookings age out.
+	total := len(plan.ULGrants)
+	for b := 2 * slot; s.PendingSRs() > 0 && b < 100*slot; b += slot {
+		total += len(s.Tick(b, nil).ULGrants)
+	}
+	if total != 5 {
+		t.Fatalf("only %d of 5 SRs ever granted", total)
+	}
+}
+
+// TestGrantedULGCKeepsOnAirSlot: a granted UL slot that has started but not
+// yet ended at a boundary must keep its capacity bookkeeping (it is still on
+// air); only fully-ended slots are collected.
+func TestGrantedULGCKeepsOnAirSlot(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	s.OnSR(SRRequest{UE: 1, RecvAt: 0, Bytes: 4000})
+	plan := s.Tick(slot, nil)
+	if len(plan.ULGrants) != 1 {
+		t.Fatalf("grants = %+v", plan.ULGrants)
+	}
+	granted := plan.ULGrants[0].SlotStart
+	// A boundary strictly inside the granted slot: the PUSCH is on air.
+	s.Tick(granted+slot/2, nil)
+	if _, ok := s.grantedUL[granted]; !ok {
+		t.Fatalf("bookkeeping for on-air slot %v collected at mid-slot boundary", granted)
+	}
+	// Once the slot has fully ended it is collectable.
+	s.Tick(granted+slot, nil)
+	if _, ok := s.grantedUL[granted]; ok {
+		t.Fatalf("bookkeeping for ended slot %v survives", granted)
+	}
+}
+
+// TestSRStormRespectsCapacity: 64 UEs raise SRs before one boundary; across
+// all ticks no UL slot's granted bytes may ever exceed ULSlotBytes, and every
+// SR is eventually served exactly once.
+func TestSRStormRespectsCapacity(t *testing.T) {
+	s := ddduScheduler(t, 1)
+	const ues = 64
+	for i := 0; i < ues; i++ {
+		s.OnSR(SRRequest{UE: i, RecvAt: 0, Bytes: 500}) // 8 per 4000B slot
+	}
+	perSlot := map[sim.Time]int{}
+	served := map[int]int{}
+	for b := slot; b < 200*slot; b += slot {
+		plan := s.Tick(b, nil)
+		for _, g := range plan.ULGrants {
+			perSlot[g.SlotStart] += g.Bytes
+			served[g.UE]++
+		}
+		if s.PendingSRs() == 0 {
+			break
+		}
+	}
+	for slotStart, bytes := range perSlot {
+		if bytes > 4000 {
+			t.Fatalf("slot %v granted %dB > 4000B capacity", slotStart, bytes)
+		}
+	}
+	if len(served) != ues {
+		t.Fatalf("%d of %d UEs served", len(served), ues)
+	}
+	for ue, n := range served {
+		if n != 1 {
+			t.Fatalf("UE %d granted %d times", ue, n)
+		}
+	}
+}
+
+// TestRoundRobinFairness: under FairRoundRobin a UE with a deep SR backlog
+// cannot capture consecutive grants while other UEs wait.
+func TestRoundRobinFairness(t *testing.T) {
+	g, err := nr.BuildGrid(nr.CommonConfig{Mu: nr.Mu1, Pattern1: nr.PatternDDDU(nr.Mu1)}, 2, "DDDU")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := New(Config{Grid: g, MarginSlots: 1, K2Slots: 1,
+		DLSlotBytes: 5000, ULSlotBytes: 4000, GrantBytes: 200, Fairness: FairRoundRobin})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// UE 0 floods 6 SRs before UEs 1..3 send one each.
+	for i := 0; i < 6; i++ {
+		s.OnSR(SRRequest{UE: 0, RecvAt: 0, Bytes: 1000})
+	}
+	for ue := 1; ue <= 3; ue++ {
+		s.OnSR(SRRequest{UE: ue, RecvAt: 0, Bytes: 1000})
+	}
+	plan := s.Tick(slot, nil)
+	if len(plan.ULGrants) < 4 {
+		t.Fatalf("grants = %d", len(plan.ULGrants))
+	}
+	// The first full round serves each UE once before UE 0's second SR.
+	firstFour := map[int]bool{}
+	for _, g := range plan.ULGrants[:4] {
+		firstFour[g.UE] = true
+	}
+	if len(firstFour) != 4 {
+		t.Fatalf("first round not one-per-UE: %+v", plan.ULGrants[:4])
+	}
+}
+
 func TestGrantCapacityGCPastSlots(t *testing.T) {
 	s := ddduScheduler(t, 1)
 	s.OnSR(SRRequest{UE: 1, RecvAt: 0, Bytes: 4000})

@@ -42,6 +42,7 @@ import (
 	"urllcsim/internal/obs"
 	"urllcsim/internal/proc"
 	"urllcsim/internal/radio"
+	"urllcsim/internal/sched"
 	"urllcsim/internal/sim"
 )
 
@@ -99,6 +100,23 @@ type ScenarioConfig struct {
 	SlotScale SlotScale
 	GrantFree bool
 	Radio     RadioKind
+
+	// CGUnits shares the grant-free allocation: each UL slot carries
+	// CGUnits contention units, every grant-free transmission picks one at
+	// random, and two UEs on the same unit collide and retry after a
+	// random backoff (resolved in-sim). 0 keeps the legacy dedicated
+	// allocation with no contention. Only meaningful with GrantFree.
+	CGUnits int
+
+	// CGBackoffSlots is the collision backoff window in UL opportunities;
+	// 0 → 8. Only meaningful with CGUnits > 0.
+	CGBackoffSlots int
+
+	// RoundRobin orders eligible SRs round-robin across UEs at each
+	// scheduling tick instead of strict SR-reception order — the fairness
+	// a many-UE cell needs so one backlogged UE cannot capture every UL
+	// slot.
+	RoundRobin bool
 
 	// RTKernel applies a PREEMPT_RT OS-jitter profile (§6 mitigation).
 	RTKernel bool
@@ -206,24 +224,31 @@ func NewScenario(cfg ScenarioConfig) (*Scenario, error) {
 	if harq == 0 {
 		harq = 3
 	}
+	fairness := sched.FairFIFO
+	if cfg.RoundRobin {
+		fairness = sched.FairRoundRobin
+	}
 	sys, err := node.NewSystem(node.Config{
-		Label:        string(cfg.Pattern),
-		Grid:         grid,
-		ULGrid:       ulGrid,
-		GrantFree:    cfg.GrantFree,
-		GNBRadio:     head,
-		Channel:      ch,
-		MCSIndex:     10,
-		MarginSlots:  margin,
-		K2Slots:      1,
-		HARQMaxTx:    harq,
-		HARQFeedback: cfg.HARQFeedback,
-		CoreLatency:  30 * time.Microsecond,
-		NUEs:         cfg.UEs,
-		PayloadBytes: 32,
-		Seed:         cfg.Seed,
-		Deadline:     sim.Duration(cfg.Deadline),
-		Obs:          cfg.Obs,
+		Label:          string(cfg.Pattern),
+		Grid:           grid,
+		ULGrid:         ulGrid,
+		GrantFree:      cfg.GrantFree,
+		CGUnits:        cfg.CGUnits,
+		CGBackoffSlots: cfg.CGBackoffSlots,
+		GNBRadio:       head,
+		Channel:        ch,
+		MCSIndex:       10,
+		MarginSlots:    margin,
+		K2Slots:        1,
+		HARQMaxTx:      harq,
+		HARQFeedback:   cfg.HARQFeedback,
+		CoreLatency:    30 * time.Microsecond,
+		NUEs:           cfg.UEs,
+		PayloadBytes:   32,
+		Seed:           cfg.Seed,
+		Fairness:       fairness,
+		Deadline:       sim.Duration(cfg.Deadline),
+		Obs:            cfg.Obs,
 	})
 	if err != nil {
 		return nil, err
@@ -357,6 +382,16 @@ func (s *Scenario) RadioMisses() int { return s.sys.Counters().RadioMisses }
 
 // PHYLosses returns the transport blocks lost on air.
 func (s *Scenario) PHYLosses() int { return s.sys.Counters().PHYLosses }
+
+// SRsSent returns the number of scheduling requests transmitted.
+func (s *Scenario) SRsSent() int { return s.sys.Counters().SRsSent }
+
+// GrantsIssued returns the number of SR→grant handshakes completed.
+func (s *Scenario) GrantsIssued() int { return s.sys.Counters().GrantsIssued }
+
+// CGCollisions returns the number of grant-free transport blocks lost to a
+// shared-contention-unit collision (CGUnits > 0).
+func (s *Scenario) CGCollisions() int { return s.sys.Counters().CGCollisions }
 
 // LayerStat returns the measured (mean µs, std µs, n) of a gNB layer:
 // "SDAP", "PDCP", "RLC", "RLC-q", "MAC", "PHY" — the columns of Table 2.
