@@ -50,7 +50,9 @@ bench-check:
 	$(GO) run ./cmd/urllc-bench -baseline BENCH_baseline.json -check -tolerance $(BENCH_TOL)
 
 ## bench-smoke: exercise the whole benchmark-harness pipeline quickly —
-## short suite with few iterations, schema validation, the self-comparison
+## short suite with few iterations, schema validation (which asserts the
+## engine's push/pop/cancel counters cohere with the embedded self-profile:
+## pops ≡ fired events, pushes ≥ pops + cancels), the self-comparison
 ## must pass the gate (exit 0), and an injected 100x regression must trip it
 ## (exit 1); finally a loose-tolerance check against the committed baseline
 bench-smoke:

@@ -93,8 +93,18 @@ func Suite() []Benchmark {
 		},
 		{
 			Name: "EngineScheduleCancel",
-			Desc: "sim.Engine with half the queue cancelled (dead-pop path)",
+			Desc: "sim.Engine with half the queue cancelled (O(1) excision path)",
 			F:    engineScheduleCancel,
+		},
+		{
+			Name: "EngineScheduleSteady",
+			Desc: "warmed sim.Engine schedule+fire of 4096 events per op (pooled steady state, 0 allocs)",
+			F:    engineScheduleSteady,
+		},
+		{
+			Name: "EngineCancelStorm",
+			Desc: "warmed sim.Engine schedule+cancel churn (HARQ/CG storm; queue stays empty)",
+			F:    engineCancelStorm,
 		},
 		{
 			Name: "ObsRecord",
@@ -258,7 +268,10 @@ func cellRun(mode cell.Mode) func(b *testing.B) {
 }
 
 // engineSchedule isolates the DES core: push 4096 leaf events and drain
-// them. ns/op here is pure heap + dispatch cost, no model code.
+// them. ns/op here is pure queue + dispatch cost, no model code. The engine
+// is fresh each op, so this includes the one-time pool fill (one allocation
+// per 256-node slab); see EngineScheduleSteady for the warmed zero-alloc
+// path.
 func engineSchedule(b *testing.B) {
 	b.ReportAllocs()
 	const n = 4096
@@ -275,13 +288,13 @@ func engineSchedule(b *testing.B) {
 }
 
 // engineScheduleCancel cancels every other queued event before draining —
-// the dead-pop skip path plus live-count bookkeeping.
+// the O(1) excision path plus live-count bookkeeping.
 func engineScheduleCancel(b *testing.B) {
 	b.ReportAllocs()
 	const n = 4096
 	for i := 0; i < b.N; i++ {
 		eng := sim.NewEngine()
-		evs := make([]*sim.Event, 0, n)
+		evs := make([]sim.Event, 0, n)
 		for j := 0; j < n; j++ {
 			evs = append(evs, eng.Schedule(sim.Time((j*2654435761)%100000), "e", func() {}))
 		}
@@ -296,6 +309,62 @@ func engineScheduleCancel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)*n/2/b.Elapsed().Seconds(), "events/sec")
+}
+
+// engineScheduleSteady measures the pooled steady state the timing wheel is
+// built for: one long-lived engine whose freelist is warm, so every op's
+// 4096 schedule+fire cycles must allocate nothing. The alloc column here is
+// the zero-alloc contract `urllc-bench -check` gates on.
+func engineScheduleSteady(b *testing.B) {
+	b.ReportAllocs()
+	const n = 4096
+	eng := sim.NewEngine()
+	cycle := func() {
+		base := eng.Now()
+		for j := 0; j < n; j++ {
+			eng.Schedule(base+sim.Time((j*2654435761)%100000), "e", func() {})
+		}
+		eng.RunAll()
+	}
+	cycle() // warm the node pool so b.N ops hit the freelist only
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "events/sec")
+}
+
+// engineCancelStorm is the HARQ/CG retransmission-cancel pattern at its most
+// hostile: every scheduled event is cancelled before it can fire. With O(1)
+// excision and node pooling the queue must stay empty and the op must not
+// allocate once the pool is warm.
+func engineCancelStorm(b *testing.B) {
+	b.ReportAllocs()
+	const n = 4096
+	eng := sim.NewEngine()
+	evs := make([]sim.Event, n)
+	cycle := func() {
+		base := eng.Now()
+		for j := 0; j < n; j++ {
+			evs[j] = eng.Schedule(base+sim.Time((j*2654435761)%100000), "e", func() {})
+		}
+		for j := 0; j < n; j++ {
+			evs[j].Cancel()
+		}
+	}
+	cycle()
+	if eng.QueueLen() != 0 {
+		b.Fatalf("QueueLen = %d after full cancel, want 0", eng.QueueLen())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cycle()
+	}
+	b.StopTimer()
+	if eng.QueueLen() != 0 {
+		b.Fatalf("QueueLen = %d after cancel storm, want 0", eng.QueueLen())
+	}
+	b.ReportMetric(float64(b.N)*n/b.Elapsed().Seconds(), "cancels/sec")
 }
 
 // obsRecord measures the enabled recorder hot path: the three calls model

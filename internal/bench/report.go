@@ -102,8 +102,22 @@ func (f *File) Validate() error {
 			return fmt.Errorf("%s: negative allocation stats", r.Name)
 		}
 	}
-	if f.Profile != nil && f.Profile.Schema != prof.ReportSchema {
-		return fmt.Errorf("profile schema %q, want %q", f.Profile.Schema, prof.ReportSchema)
+	if f.Profile != nil {
+		if f.Profile.Schema != prof.ReportSchema {
+			return fmt.Errorf("profile schema %q, want %q", f.Profile.Schema, prof.ReportSchema)
+		}
+		// Engine counter coherence: with the timing wheel every pop fires an
+		// event (cancellations excise without popping), so the profiled
+		// window's pops must equal its fired-event count. A mismatch means
+		// the engine's books and the profiler's attribution diverged.
+		if f.Profile.Heap.Pops != f.Profile.Events {
+			return fmt.Errorf("profile heap pops %d != profiled events %d",
+				f.Profile.Heap.Pops, f.Profile.Events)
+		}
+		if f.Profile.Heap.Pushes < f.Profile.Heap.Pops+f.Profile.Heap.Cancels {
+			return fmt.Errorf("profile heap pushes %d < pops %d + cancels %d",
+				f.Profile.Heap.Pushes, f.Profile.Heap.Pops, f.Profile.Heap.Cancels)
+		}
 	}
 	return nil
 }
@@ -166,10 +180,12 @@ func (c *Comparison) Regressions() []string {
 }
 
 // Compare matches benchmarks by name and flags any whose ns/op grew by more
-// than tol (fractional: 0.10 = +10 %). Allocation counts are carried for the
-// report but do not gate — alloc regressions show up in ns/op anyway, and
-// alloc counts are exact so even a ±1 change would trip a gate meant for
-// noisy timings.
+// than tol (fractional: 0.10 = +10 %). Allocation counts gate in exactly one
+// case: a benchmark whose baseline is zero allocs/op must stay at zero —
+// that is a contract (the pooled engine's steady state), not a noisy timing,
+// and a 0→n change is a structural regression ns/op might hide. Nonzero
+// alloc counts are carried for the report only, since small exact changes
+// would trip a gate meant for noisy timings.
 func Compare(base, cur *File, tol float64) *Comparison {
 	c := &Comparison{Tolerance: tol}
 	curByName := map[string]Result{}
@@ -188,7 +204,7 @@ func Compare(base, cur *File, tol float64) *Comparison {
 		c.Deltas = append(c.Deltas, Delta{
 			Name: b.Name, OldNs: b.NsPerOp, NewNs: n.NsPerOp, Pct: pct,
 			OldAllocs: b.AllocsPerOp, NewAllocs: n.AllocsPerOp,
-			Regression: pct > tol,
+			Regression: pct > tol || (b.AllocsPerOp == 0 && n.AllocsPerOp > 0),
 		})
 	}
 	for _, r := range cur.Results {

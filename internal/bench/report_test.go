@@ -4,6 +4,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"urllcsim/internal/obs/prof"
 )
 
 func sampleFile() *File {
@@ -125,6 +127,52 @@ func TestCompareInjectedRegression(t *testing.T) {
 	md := c.MarkdownTable()
 	if !strings.Contains(md, "**REGRESSION**") || !strings.Contains(md, "+100.0%") {
 		t.Fatalf("delta table missing regression verdict:\n%s", md)
+	}
+}
+
+// TestCompareZeroAllocGate pins the pooled-engine contract: a benchmark whose
+// baseline is 0 allocs/op regresses the moment it allocates at all, even with
+// ns/op inside tolerance — and the gate only guards the zero baseline, so
+// exact ±1 drift on already-allocating benchmarks still passes.
+func TestCompareZeroAllocGate(t *testing.T) {
+	base, cur := sampleFile(), sampleFile()
+	cur.Results[1].AllocsPerOp = 1 // B: baseline 0 → now allocating
+	c := Compare(base, cur, 0.10)
+	if regs := c.Regressions(); len(regs) != 1 || regs[0] != "B" {
+		t.Fatalf("Regressions = %v, want [B]", regs)
+	}
+	base, cur = sampleFile(), sampleFile()
+	cur.Results[0].AllocsPerOp = base.Results[0].AllocsPerOp + 1 // A: 2 → 3, no gate
+	if regs := Compare(base, cur, 0.10).Regressions(); len(regs) != 0 {
+		t.Fatalf("nonzero-baseline alloc drift tripped the gate: %v", regs)
+	}
+}
+
+func TestValidateProfileCounterCoherence(t *testing.T) {
+	f := sampleFile()
+	f.Profile = profiledSample()
+	if err := f.Validate(); err != nil {
+		t.Fatalf("coherent profile rejected: %v", err)
+	}
+	f.Profile.Heap.Pops++ // pops no longer equal fired events
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "pops") {
+		t.Fatalf("Validate accepted pops != events (err = %v)", err)
+	}
+	f = sampleFile()
+	f.Profile = profiledSample()
+	f.Profile.Heap.Cancels = f.Profile.Heap.Pushes // pushes < pops + cancels
+	if err := f.Validate(); err == nil || !strings.Contains(err.Error(), "pushes") {
+		t.Fatalf("Validate accepted incoherent cancels (err = %v)", err)
+	}
+}
+
+// profiledSample builds a minimal coherent engine self-profile: 10 pushes,
+// 9 fired, 1 cancelled.
+func profiledSample() *prof.Report {
+	return &prof.Report{
+		Schema: prof.ReportSchema,
+		Events: 9,
+		Heap:   prof.HeapStats{Pushes: 10, Pops: 9, Cancels: 1},
 	}
 }
 

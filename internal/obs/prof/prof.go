@@ -31,8 +31,11 @@ import (
 )
 
 // ReportSchema versions the JSONL "profile" record; bump on any
-// breaking field change.
-const ReportSchema = "urllcsim-profile/v1"
+// breaking field change. v2: heap pops count fired events only (the timing
+// wheel excises cancelled events instead of lazily discarding them, so the
+// old pops-include-dead-discards reading is gone) and cancels are reported
+// as their own counter.
+const ReportSchema = "urllcsim-profile/v2"
 
 // typeStat accumulates one event type's attribution.
 type typeStat struct {
@@ -59,31 +62,36 @@ type Profiler struct {
 	depth    metrics.Accumulator // queue depth sampled at every fired event
 	maxDepth int
 
-	startSim   sim.Time
-	lastSim    sim.Time
-	startSteps uint64
-	startSched uint64
-	startPops  uint64
-	m0         runtime.MemStats
+	startSim     sim.Time
+	lastSim      sim.Time
+	startSteps   uint64
+	startPushes  uint64
+	startPops    uint64
+	startCancels uint64
+	m0           runtime.MemStats
 
 	report *Report
 }
 
 // Attach mounts a profiler on the engine, wrapping any sink already present
 // (an obs.Recorder keeps receiving every event through the profiler). The
-// profiler snapshots runtime.MemStats and the engine's heap counters at
+// profiler snapshots runtime.MemStats and the engine's queue counters at
 // attach time, so the eventual Report covers exactly the attached window.
+// The counters are the engine's own Pushes/Pops/Cancels books — pops are no
+// longer derived from a push/queue-length identity, which node pooling and
+// cancel excision would silently break.
 func Attach(eng *sim.Engine) *Profiler {
 	p := &Profiler{
-		eng:        eng,
-		next:       eng.Sink,
-		attachWall: time.Now(),
-		keys:       map[string]int{},
-		startSim:   eng.Now(),
-		lastSim:    eng.Now(),
-		startSteps: eng.Steps(),
-		startSched: eng.Scheduled(),
-		startPops:  eng.Scheduled() - uint64(eng.QueueLen()),
+		eng:          eng,
+		next:         eng.Sink,
+		attachWall:   time.Now(),
+		keys:         map[string]int{},
+		startSim:     eng.Now(),
+		lastSim:      eng.Now(),
+		startSteps:   eng.Steps(),
+		startPushes:  eng.Pushes(),
+		startPops:    eng.Pops(),
+		startCancels: eng.Cancels(),
 	}
 	runtime.ReadMemStats(&p.m0)
 	eng.Sink = p
@@ -172,8 +180,9 @@ func (p *Profiler) Finish() *Report {
 		SimNs:        int64(p.lastSim.Sub(p.startSim)),
 		Types:        stats,
 		Heap: HeapStats{
-			Pushes:    p.eng.Scheduled() - p.startSched,
-			Pops:      p.eng.Scheduled() - uint64(p.eng.QueueLen()) - p.startPops,
+			Pushes:    p.eng.Pushes() - p.startPushes,
+			Pops:      p.eng.Pops() - p.startPops,
+			Cancels:   p.eng.Cancels() - p.startCancels,
 			MaxDepth:  p.maxDepth,
 			MeanDepth: p.depth.Mean(),
 		},
@@ -202,12 +211,15 @@ type EventStat struct {
 }
 
 // HeapStats describes the engine's event-queue behaviour over the profiled
-// window. Pushes and pops count raw heap operations (pops include discarded
-// cancelled events); depth is the raw queue length sampled at every fired
-// event.
+// window, read from the engine's explicit operation counters. Every pop
+// fires an event (the timing wheel excises cancelled events in O(1) instead
+// of lazily discarding them on pop), so Pops equals the window's fired-event
+// count; Cancels counts those excisions. Depth is the raw queue length
+// sampled at every fired event.
 type HeapStats struct {
 	Pushes    uint64  `json:"pushes"`
 	Pops      uint64  `json:"pops"`
+	Cancels   uint64  `json:"cancels"`
 	MaxDepth  int     `json:"max_depth"`
 	MeanDepth float64 `json:"mean_depth"`
 }
@@ -272,8 +284,8 @@ func (r *Report) MarkdownTable() string {
 		r.Events, float64(r.AttributedNs)/1e6, r.EventsPerSec)
 	fmt.Fprintf(&sb, "- sim time advanced: %.3f ms → sim/wall ratio %.2f×\n",
 		float64(r.SimNs)/1e6, r.SimWallRatio)
-	fmt.Fprintf(&sb, "- heap: %d pushes, %d pops, queue depth max %d mean %.1f\n",
-		r.Heap.Pushes, r.Heap.Pops, r.Heap.MaxDepth, r.Heap.MeanDepth)
+	fmt.Fprintf(&sb, "- queue: %d pushes, %d pops, %d cancels, depth max %d mean %.1f\n",
+		r.Heap.Pushes, r.Heap.Pops, r.Heap.Cancels, r.Heap.MaxDepth, r.Heap.MeanDepth)
 	fmt.Fprintf(&sb, "- runtime: %d allocs (%.1f KB), %d GCs, %.3f ms GC pause\n",
 		r.Runtime.Allocs, float64(r.Runtime.AllocBytes)/1024,
 		r.Runtime.NumGC, float64(r.Runtime.GCPauseNs)/1e6)
@@ -293,6 +305,7 @@ func (r *Report) Publish(rec *obs.Recorder) {
 	rec.SetGauge("prof.sim_wall_ratio", r.SimWallRatio)
 	rec.Count("prof.heap.push", int64(r.Heap.Pushes))
 	rec.Count("prof.heap.pop", int64(r.Heap.Pops))
+	rec.Count("prof.heap.cancel", int64(r.Heap.Cancels))
 	rec.SetGauge("prof.heap.depth_max", float64(r.Heap.MaxDepth))
 	rec.SetGauge("prof.heap.depth_mean", r.Heap.MeanDepth)
 	rec.Count("prof.runtime.allocs", int64(r.Runtime.Allocs))

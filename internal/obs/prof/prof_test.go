@@ -11,8 +11,8 @@ import (
 )
 
 // toyRun schedules a small event mix on a fresh engine and runs it under a
-// profiler: two event types, one cancelled event exercising the dead-pop
-// path, plus a nested reschedule so the queue depth moves.
+// profiler: two event types, one cancelled event exercising the excision
+// counter, plus a nested reschedule so the queue depth moves.
 func toyRun(t *testing.T) (*sim.Engine, *Report) {
 	t.Helper()
 	eng := sim.NewEngine()
@@ -72,8 +72,14 @@ func TestReportHeapStats(t *testing.T) {
 	if r.Heap.Pushes != 13 { // 10 ticks + doomed + spawn + child
 		t.Fatalf("Heap.Pushes = %d, want 13", r.Heap.Pushes)
 	}
-	if r.Heap.Pops != 13 { // everything drains, cancelled included
-		t.Fatalf("Heap.Pops = %d, want 13", r.Heap.Pops)
+	if r.Heap.Pops != 12 { // every pop fires; the cancelled event was excised, not popped
+		t.Fatalf("Heap.Pops = %d, want 12", r.Heap.Pops)
+	}
+	if r.Heap.Cancels != 1 { // doomed
+		t.Fatalf("Heap.Cancels = %d, want 1", r.Heap.Cancels)
+	}
+	if r.Heap.Pops != r.Events {
+		t.Fatalf("Heap.Pops = %d, profiled events = %d; pops must equal fired events", r.Heap.Pops, r.Events)
 	}
 	if r.Heap.MaxDepth < 1 || r.Heap.MeanDepth <= 0 {
 		t.Fatalf("queue depth stats missing: max %d mean %f", r.Heap.MaxDepth, r.Heap.MeanDepth)
@@ -160,7 +166,7 @@ func TestWriteJSONLRoundTrip(t *testing.T) {
 func TestMarkdownTable(t *testing.T) {
 	_, r := toyRun(t)
 	md := r.MarkdownTable()
-	for _, want := range []string{"top event types", "| `tick` |", "events/sec", "heap:", "runtime:"} {
+	for _, want := range []string{"top event types", "| `tick` |", "events/sec", "queue:", "cancels", "runtime:"} {
 		if !strings.Contains(md, want) {
 			t.Fatalf("markdown table missing %q:\n%s", want, md)
 		}

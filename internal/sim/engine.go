@@ -1,68 +1,72 @@
 package sim
 
-import (
-	"container/heap"
-	"fmt"
-)
+import "fmt"
 
-// Event is a scheduled callback. Events compare by time, then by sequence
-// number, so events scheduled for the same instant run in scheduling order
-// (FIFO). That stability is what makes whole-system runs reproducible.
+// Event is a handle to one scheduled callback, returned by Schedule and
+// After. It is a small value; the callback's storage is an engine-pooled
+// node validated by a never-reused sequence number, so holding (or copying)
+// a handle long after the event completed is always safe — methods on a
+// stale handle report the scheduling's outcome instead of corrupting an
+// unrelated, newer event that reuses the same node.
+//
+// Fired and Cancelled answer exactly while the scheduling is pending or its
+// node has not been re-armed, and from the handle's own cancellation record
+// afterwards. The one caveat: if a handle is copied, only the copy that
+// performed a successful Cancel remembers it once the node is re-armed —
+// treat a scheduling as owned by a single handle.
 type Event struct {
-	When Time
-	Name string // for tracing; not used for ordering
-	Fn   func()
-
-	seq   uint64
-	index int // heap index; -1 when not queued
-	dead  bool
-	eng   *Engine // owning engine, for live-event bookkeeping on Cancel
+	n         *node
+	seq       uint64
+	cancelled bool // set when this handle's Cancel took effect
 }
 
-// Cancel prevents a pending event from firing. Cancelling an event that has
-// already fired (or was never scheduled) is a no-op.
-func (e *Event) Cancel() {
-	if e.dead {
-		return
+// Cancel prevents a pending event from firing and reports whether this call
+// cancelled it. The event is excised from its wheel bucket immediately
+// (O(1)) and its node recycled, so cancel-heavy runs never accumulate dead
+// queue entries. Cancelling an event that already fired, was already
+// cancelled, or was never scheduled is a safe no-op returning false.
+func (ev *Event) Cancel() bool {
+	n := ev.n
+	if n == nil || n.seq != ev.seq || n.state != stateLive {
+		return false
 	}
-	e.dead = true
-	// A cancelled event stays in the heap until its turn comes up; track it
-	// so Pending can report live events without scanning the queue.
-	if e.eng != nil && e.index >= 0 {
-		e.eng.deadQueued++
+	eng := n.eng
+	eng.wheel.remove(n)
+	eng.cancels++
+	eng.recycle(n, stateCancelled)
+	ev.cancelled = true
+	return true
+}
+
+// Cancelled reports whether this scheduling was cancelled before it fired.
+// An event that fired is never reported as cancelled, even if Cancel was
+// called on it afterwards.
+func (ev *Event) Cancelled() bool {
+	if ev.cancelled {
+		return true
 	}
+	n := ev.n
+	return n != nil && n.seq == ev.seq && n.state == stateCancelled
 }
 
-// Cancelled reports whether the event was cancelled before firing.
-func (e *Event) Cancelled() bool { return e.dead }
-
-type eventQueue []*Event
-
-func (q eventQueue) Len() int { return len(q) }
-func (q eventQueue) Less(i, j int) bool {
-	if q[i].When != q[j].When {
-		return q[i].When < q[j].When
+// Fired reports whether this scheduling's callback ran.
+func (ev *Event) Fired() bool {
+	n := ev.n
+	if n == nil {
+		return false
 	}
-	return q[i].seq < q[j].seq
+	if n.seq == ev.seq {
+		return n.state == stateFired
+	}
+	// The node was re-armed for a newer scheduling: ours completed, and the
+	// only way it completed without firing is a Cancel through this handle.
+	return !ev.cancelled
 }
-func (q eventQueue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].index = i
-	q[j].index = j
-}
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
-	e.index = len(*q)
-	*q = append(*q, e)
-}
-func (q *eventQueue) Pop() any {
-	old := *q
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.index = -1
-	*q = old[:n-1]
-	return e
+
+// Pending reports whether the event is still queued to fire.
+func (ev *Event) Pending() bool {
+	n := ev.n
+	return n != nil && n.seq == ev.seq && n.state == stateLive
 }
 
 // EngineSink receives a structured notification for every fired event. It
@@ -76,14 +80,21 @@ type EngineSink interface {
 // Engine is the discrete-event simulation core. It is not safe for concurrent
 // use: a simulation is a single logical thread of control, and all model code
 // runs inside event callbacks.
+//
+// The event queue is a hierarchical timing wheel (see wheel.go) fed from a
+// per-engine freelist of event nodes, so steady-state scheduling and firing
+// allocate nothing and same-instant FIFO order is structural.
 type Engine struct {
-	now        Time
-	queue      eventQueue
-	seq        uint64
-	steps      uint64
-	scheduled  uint64
-	deadQueued int
-	stopped    bool
+	now     Time
+	seq     uint64
+	steps   uint64
+	pushes  uint64
+	pops    uint64
+	cancels uint64
+	stopped bool
+
+	free       *node  // recycled event nodes, linked through node.next
+	poolAllocs uint64 // nodes ever allocated (freelist misses)
 
 	// Tracer, when non-nil, is invoked for every fired event. It is the
 	// legacy hook, kept for compatibility; it rides the same dispatch as
@@ -93,6 +104,8 @@ type Engine struct {
 	// Sink, when non-nil, receives every fired event as a structured
 	// notification (typically an *obs.Recorder).
 	Sink EngineSink
+
+	wheel wheel
 }
 
 // emit dispatches one fired event to the legacy tracer and structured sink.
@@ -116,37 +129,97 @@ func (e *Engine) Now() Time { return e.now }
 // Steps returns the number of events fired so far.
 func (e *Engine) Steps() uint64 { return e.steps }
 
-// Scheduled returns the number of events ever pushed onto the queue. The
-// difference Scheduled() − QueueLen() is the number of heap pops so far
-// (fired events plus discarded cancelled ones).
-func (e *Engine) Scheduled() uint64 { return e.scheduled }
+// Scheduled returns the number of events ever pushed onto the queue; it is
+// the same counter as Pushes, kept under its historical name.
+func (e *Engine) Scheduled() uint64 { return e.pushes }
 
-// Pending returns the number of live queued events — cancelled events still
-// sitting in the heap are excluded, so queue-depth gauges built on Pending
-// never overcount.
-func (e *Engine) Pending() int { return len(e.queue) - e.deadQueued }
+// Pushes returns the number of queue insertions (one per Schedule/After).
+func (e *Engine) Pushes() uint64 { return e.pushes }
 
-// QueueLen returns the raw heap length, counting cancelled-but-still-queued
-// events. This is the number the engine actually pays for in heap operations,
-// which is why the profiler's heap stats use it rather than Pending.
-func (e *Engine) QueueLen() int { return len(e.queue) }
+// Pops returns the number of queue extractions. Every pop fires an event —
+// cancellation excises without popping — so Pops always equals Steps; it is
+// exposed as its own counter so queue-operation accounting (internal/
+// obs/prof) reads the engine's books instead of deriving pops from a
+// push/queue-length identity that pooling would break.
+func (e *Engine) Pops() uint64 { return e.pops }
+
+// Cancels returns the number of events excised by Cancel before firing.
+// Pushes − Pops − Cancels is the queue length at any instant.
+func (e *Engine) Cancels() uint64 { return e.cancels }
+
+// PoolAllocs returns the number of event nodes this engine ever allocated —
+// the pool's capacity, grown in slabs of slabSize on freelist misses. Once a
+// workload's high-water mark of in-flight events is reached this stops
+// growing: steady-state scheduling allocates nothing.
+func (e *Engine) PoolAllocs() uint64 { return e.poolAllocs }
+
+// Pending returns the number of queued events. Cancellation removes events
+// immediately, so this is exact — queue-depth gauges never overcount.
+func (e *Engine) Pending() int { return e.wheel.count }
+
+// QueueLen returns the number of events the queue actually stores. With the
+// timing wheel this equals Pending — cancelled events are excised on the
+// spot rather than lazily discarded — and the method survives for the
+// profiler and tests written against the old heap's raw length.
+func (e *Engine) QueueLen() int { return e.wheel.count }
+
+// slabSize is the pool's growth quantum: a freelist miss allocates this many
+// nodes in one contiguous block instead of one at a time, so cold-start
+// scheduling (and any later growth of the in-flight high-water mark) pays one
+// allocation per slabSize events and neighbouring nodes share cache lines.
+const slabSize = 256
+
+// alloc takes a node from the freelist, refilling it from a fresh slab on a
+// miss.
+func (e *Engine) alloc() *node {
+	n := e.free
+	if n == nil {
+		slab := make([]node, slabSize)
+		for i := range slab {
+			slab[i].eng = e
+			slab[i].next = e.free
+			e.free = &slab[i]
+		}
+		e.poolAllocs += slabSize
+		n = e.free
+	}
+	e.free = n.next
+	n.next = nil
+	return n
+}
+
+// recycle records the scheduling's outcome on the node (outstanding handles
+// keep answering Fired/Cancelled until the node is re-armed with a fresh
+// seq) and returns it to the freelist. The callback and name are dropped so
+// the pool retains no closures.
+func (e *Engine) recycle(n *node, outcome uint8) {
+	n.state = outcome
+	n.fn = nil
+	n.name = ""
+	n.prev = nil
+	n.next = e.free
+	e.free = n
+}
 
 // Schedule queues fn to run at absolute time when. Scheduling in the past is
 // a programming error and panics: silently reordering time would corrupt
 // every latency measurement downstream.
-func (e *Engine) Schedule(when Time, name string, fn func()) *Event {
+func (e *Engine) Schedule(when Time, name string, fn func()) Event {
 	if when < e.now {
 		panic(fmt.Sprintf("sim: schedule %q at %v before now %v", name, when, e.now))
 	}
-	ev := &Event{When: when, Name: name, Fn: fn, seq: e.seq, index: -1, eng: e}
+	n := e.alloc()
+	n.when, n.name, n.fn = when, name, fn
+	n.state = stateLive
+	n.seq = e.seq
 	e.seq++
-	e.scheduled++
-	heap.Push(&e.queue, ev)
-	return ev
+	e.pushes++
+	e.wheel.insert(n)
+	return Event{n: n, seq: n.seq}
 }
 
 // After queues fn to run d after the current time.
-func (e *Engine) After(d Duration, name string, fn func()) *Event {
+func (e *Engine) After(d Duration, name string, fn func()) Event {
 	if d < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v for %q", d, name))
 	}
@@ -156,30 +229,50 @@ func (e *Engine) After(d Duration, name string, fn func()) *Event {
 // Stop makes Run return after the currently firing event completes.
 func (e *Engine) Stop() { e.stopped = true }
 
+// fireNext extracts the earliest event and runs it at time t.
+func (e *Engine) fireNext(t Time) {
+	n := e.wheel.popFront()
+	e.now = t
+	e.steps++
+	e.pops++
+	name, fn := n.name, n.fn
+	// Recycle before the callback: the common reschedule-from-a-callback
+	// pattern then reuses this very node, and the handle staleness check
+	// (seq) keeps any outstanding handle to the fired event truthful.
+	e.recycle(n, stateFired)
+	if e.Tracer != nil || e.Sink != nil {
+		e.emit(name)
+	}
+	fn()
+}
+
 // Run fires events until the queue is empty, the horizon is passed, or Stop
 // is called. It returns the time of the last fired event. Events scheduled
-// exactly at the horizon still fire; later ones remain queued.
+// exactly at the horizon still fire; later ones remain queued, with the
+// clock advanced to the horizon. A horizon earlier than the current time is
+// clamped: Run returns immediately with the clock untouched — the clock
+// never moves backwards.
 func (e *Engine) Run(horizon Time) Time {
 	e.stopped = false
-	for len(e.queue) > 0 && !e.stopped {
-		next := e.queue[0]
-		if horizon >= 0 && next.When > horizon {
+	limit := noLimit
+	if horizon >= 0 {
+		if horizon < e.now {
+			return e.now
+		}
+		limit = uint64(horizon)
+	}
+	for !e.stopped {
+		t, st := e.wheel.earliest(limit)
+		switch st {
+		case peekEmpty:
+			return e.now
+		case peekBeyond:
 			// Advance the clock to the horizon so a subsequent Run or
 			// Schedule sees a consistent notion of "now".
 			e.now = horizon
 			return e.now
 		}
-		heap.Pop(&e.queue)
-		if next.dead {
-			e.deadQueued--
-			continue
-		}
-		e.now = next.When
-		e.steps++
-		if e.Tracer != nil || e.Sink != nil {
-			e.emit(next.Name)
-		}
-		next.Fn()
+		e.fireNext(Time(t))
 	}
 	return e.now
 }
@@ -187,22 +280,12 @@ func (e *Engine) Run(horizon Time) Time {
 // RunAll runs with no horizon.
 func (e *Engine) RunAll() Time { return e.Run(Never) }
 
-// Step fires exactly one event (skipping cancelled ones) and reports whether
-// an event fired.
+// Step fires exactly one event and reports whether an event fired.
 func (e *Engine) Step() bool {
-	for len(e.queue) > 0 {
-		next := heap.Pop(&e.queue).(*Event)
-		if next.dead {
-			e.deadQueued--
-			continue
-		}
-		e.now = next.When
-		e.steps++
-		if e.Tracer != nil || e.Sink != nil {
-			e.emit(next.Name)
-		}
-		next.Fn()
-		return true
+	t, st := e.wheel.earliest(noLimit)
+	if st != peekFound {
+		return false
 	}
-	return false
+	e.fireNext(Time(t))
+	return true
 }

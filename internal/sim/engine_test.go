@@ -66,13 +66,18 @@ func TestEngineCancel(t *testing.T) {
 	e := NewEngine()
 	fired := false
 	ev := e.After(Microsecond, "doomed", func() { fired = true })
-	ev.Cancel()
+	if !ev.Cancel() {
+		t.Fatal("Cancel() = false on a pending event")
+	}
 	e.RunAll()
 	if fired {
 		t.Fatal("cancelled event fired")
 	}
 	if !ev.Cancelled() {
 		t.Fatal("Cancelled() = false after Cancel")
+	}
+	if ev.Fired() {
+		t.Fatal("Fired() = true for a cancelled event")
 	}
 }
 
@@ -160,14 +165,20 @@ func TestPendingExcludesCancelled(t *testing.T) {
 	if e.Pending() != 3 || e.QueueLen() != 3 {
 		t.Fatalf("Pending/QueueLen = %d/%d, want 3/3", e.Pending(), e.QueueLen())
 	}
-	a.Cancel()
-	c.Cancel()
-	c.Cancel() // double-cancel must not double-count
+	if !a.Cancel() || !c.Cancel() {
+		t.Fatal("Cancel() = false on pending events")
+	}
+	if c.Cancel() { // double-cancel must not double-count
+		t.Fatal("second Cancel() = true")
+	}
 	if e.Pending() != 1 {
 		t.Fatalf("Pending = %d after 2 cancels, want 1", e.Pending())
 	}
-	if e.QueueLen() != 3 {
-		t.Fatalf("QueueLen = %d after cancels, want 3 (dead events stay queued)", e.QueueLen())
+	if e.QueueLen() != 1 {
+		t.Fatalf("QueueLen = %d after cancels, want 1 (cancelled events are excised immediately)", e.QueueLen())
+	}
+	if e.Cancels() != 2 {
+		t.Fatalf("Cancels = %d, want 2", e.Cancels())
 	}
 	e.RunAll()
 	if e.Pending() != 0 || e.QueueLen() != 0 {
@@ -185,9 +196,145 @@ func TestCancelAfterFireDoesNotCorruptPending(t *testing.T) {
 	if !e.Step() {
 		t.Fatal("Step fired nothing")
 	}
-	ev.Cancel() // already fired: must be a no-op for the pending count
+	if ev.Cancel() { // already fired: must be a no-op returning false
+		t.Fatal("Cancel() = true on a fired event")
+	}
 	if e.Pending() != 1 {
 		t.Fatalf("Pending = %d after cancelling a fired event, want 1", e.Pending())
+	}
+	if e.Cancels() != 0 {
+		t.Fatalf("Cancels = %d after a no-op cancel, want 0", e.Cancels())
+	}
+}
+
+// Regression (pre-wheel bug): cancelling after the fire boundary marked the
+// event dead, so Cancelled() reported a fired event as cancelled and
+// repeated cancels around the boundary skewed the dead-event accounting.
+func TestCancelSemanticsAroundFireBoundary(t *testing.T) {
+	e := NewEngine()
+	ev := e.After(Microsecond, "a", func() {})
+	if ev.Fired() || ev.Cancelled() || !ev.Pending() {
+		t.Fatalf("fresh event: Fired=%v Cancelled=%v Pending=%v", ev.Fired(), ev.Cancelled(), ev.Pending())
+	}
+	e.RunAll()
+	if !ev.Fired() {
+		t.Fatal("Fired() = false after the event ran")
+	}
+	if ev.Pending() {
+		t.Fatal("Pending() = true after the event ran")
+	}
+	ev.Cancel()
+	ev.Cancel()
+	if ev.Cancelled() {
+		t.Fatal("Cancelled() = true for an event that fired (history misreported)")
+	}
+	if !ev.Fired() {
+		t.Fatal("Fired() flipped by a late Cancel")
+	}
+	if e.Cancels() != 0 || e.Pending() != 0 {
+		t.Fatalf("late cancels leaked into counters: Cancels=%d Pending=%d", e.Cancels(), e.Pending())
+	}
+	// The fired node is pooled and re-armed by the next scheduling; the old
+	// handle must stay truthful and must not touch the new event.
+	fresh := e.After(Microsecond, "b", func() {})
+	if ev.Cancel() {
+		t.Fatal("stale handle cancelled a recycled node")
+	}
+	if !ev.Fired() || ev.Cancelled() {
+		t.Fatalf("stale handle: Fired=%v Cancelled=%v, want true/false", ev.Fired(), ev.Cancelled())
+	}
+	if !fresh.Pending() {
+		t.Fatal("new event lost by a stale handle's Cancel")
+	}
+	// And the reverse outcome: a cancelled scheduling stays cancelled after
+	// its node is re-armed.
+	doomed := e.After(2*Microsecond, "c", func() {})
+	doomed.Cancel()
+	e.After(3*Microsecond, "d", func() {})
+	if !doomed.Cancelled() || doomed.Fired() {
+		t.Fatalf("cancelled handle after re-arm: Cancelled=%v Fired=%v, want true/false", doomed.Cancelled(), doomed.Fired())
+	}
+	var zero Event
+	if zero.Cancel() || zero.Cancelled() || zero.Fired() || zero.Pending() {
+		t.Fatal("zero-value handle not inert")
+	}
+}
+
+// Regression (pre-wheel bug): Run(horizon) with horizon < now rewound the
+// clock to the horizon, corrupting every later latency measurement.
+func TestRunHorizonBeforeNowClamps(t *testing.T) {
+	e := NewEngine()
+	fired := 0
+	e.Schedule(Time(1000), "a", func() { fired++ })
+	e.Schedule(Time(10000), "b", func() { fired++ })
+	if got := e.Run(Time(5000)); got != Time(5000) {
+		t.Fatalf("Run(5µs) = %v, want 5µs", got)
+	}
+	if got := e.Run(Time(2000)); got != Time(5000) {
+		t.Fatalf("Run with horizon < now returned %v, want clock held at 5µs", got)
+	}
+	if e.Now() != Time(5000) {
+		t.Fatalf("clock rewound to %v", e.Now())
+	}
+	if fired != 1 {
+		t.Fatalf("fired = %d after clamped Run, want 1", fired)
+	}
+	e.RunAll()
+	if fired != 2 || e.Now() != Time(10000) {
+		t.Fatalf("after RunAll: fired=%d now=%v", fired, e.Now())
+	}
+}
+
+// Regression (pre-wheel bug): lazy deletion let cancel-heavy runs grow a
+// majority-dead heap without bound. Cancellation now excises immediately,
+// so a schedule/cancel storm leaves the queue empty and reuses one pooled
+// node instead of accumulating thousands.
+func TestCancelStormBoundsQueue(t *testing.T) {
+	e := NewEngine()
+	for i := 0; i < 10000; i++ {
+		ev := e.Schedule(e.Now()+Time(1+i%977), "harq", func() {})
+		if !ev.Cancel() {
+			t.Fatal("cancel failed")
+		}
+		if e.QueueLen() != 0 {
+			t.Fatalf("QueueLen = %d mid-storm, want 0", e.QueueLen())
+		}
+	}
+	if e.PoolAllocs() != slabSize {
+		t.Fatalf("PoolAllocs = %d over a 10000-cancel storm, want one slab of %d (node reused)", e.PoolAllocs(), slabSize)
+	}
+	if e.Cancels() != 10000 || e.Pushes() != 10000 || e.Pops() != 0 {
+		t.Fatalf("counters: pushes=%d pops=%d cancels=%d", e.Pushes(), e.Pops(), e.Cancels())
+	}
+	// Interleaved live traffic must be untouched by the storm.
+	fired := 0
+	e.Schedule(e.Now()+Time(50), "live", func() { fired++ })
+	for i := 0; i < 100; i++ {
+		ev := e.Schedule(e.Now()+Time(100+i), "harq", func() {})
+		ev.Cancel()
+	}
+	e.RunAll()
+	if fired != 1 {
+		t.Fatalf("live event fired %d times, want 1", fired)
+	}
+}
+
+// Steady-state scheduling must allocate nothing: once the pool holds the
+// workload's high-water mark of nodes, schedule+fire cycles reuse them.
+func TestSteadyStateScheduleAllocsZero(t *testing.T) {
+	e := NewEngine()
+	cycle := func() {
+		for j := 0; j < 256; j++ {
+			e.Schedule(e.Now()+Time((j*2654435761)%100000), "e", func() {})
+		}
+		e.RunAll()
+	}
+	cycle() // warm the pool
+	if avg := testing.AllocsPerRun(50, cycle); avg != 0 {
+		t.Fatalf("steady-state schedule+fire allocates %v allocs/cycle, want 0", avg)
+	}
+	if e.PoolAllocs() > slabSize {
+		t.Fatalf("PoolAllocs = %d, want ≤ %d (one slab covers the high-water mark)", e.PoolAllocs(), slabSize)
 	}
 }
 

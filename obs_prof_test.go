@@ -99,8 +99,14 @@ func TestProfilerPartition(t *testing.T) {
 	if rep.Heap.Pushes < rep.Events {
 		t.Fatalf("heap pushes %d < fired events %d", rep.Heap.Pushes, rep.Events)
 	}
-	if rep.Heap.Pops > rep.Heap.Pushes {
-		t.Fatalf("heap pops %d > pushes %d", rep.Heap.Pops, rep.Heap.Pushes)
+	// Every pop fires an event (the wheel excises cancellations instead of
+	// popping them), so the profiled window's pops equal its event count —
+	// the engine's books and the profiler's attribution must agree exactly.
+	if rep.Heap.Pops != rep.Events {
+		t.Fatalf("heap pops %d != fired events %d", rep.Heap.Pops, rep.Events)
+	}
+	if rep.Heap.Pushes < rep.Heap.Pops+rep.Heap.Cancels {
+		t.Fatalf("heap pushes %d < pops %d + cancels %d", rep.Heap.Pushes, rep.Heap.Pops, rep.Heap.Cancels)
 	}
 	// The reference scenario advances 80 packets × 2 ms of virtual time in
 	// well under a second of wall time on any machine: the ratio must be
