@@ -8,13 +8,13 @@ GO ?= go
 BENCH_TOL  ?= 10%
 SMOKE_TOL  ?= 500%
 
-.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke flight-smoke kpi-smoke cell-smoke
+.PHONY: check vet build test race bench bench-go bench-check bench-smoke lint report-smoke sweep-smoke flight-smoke kpi-smoke cell-smoke obs-smoke
 
 ## check: full verification gate — lint (vet + gofmt), build, race-enabled tests,
 ## the parallel-vs-sequential sweep invariance smoke, the flight-recorder
 ## no-interference smoke, the dimensional-KPI smoke, the many-UE cell smoke,
-## and the benchmark-harness smoke
-check: lint build race sweep-smoke flight-smoke kpi-smoke cell-smoke bench-smoke
+## the sampling/observer-tax smoke, and the benchmark-harness smoke
+check: lint build race sweep-smoke flight-smoke kpi-smoke cell-smoke obs-smoke bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -30,8 +30,11 @@ build:
 test:
 	$(GO) test ./...
 
+# The race pass builds with -tags obsdebug so recycled recorder slabs are
+# poisoned on release: a goroutine holding a span/outcome slice across a Reset
+# shows up as sentinel values (and usually a race) instead of silent staleness.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -tags obsdebug ./...
 
 ## bench-go: regenerate every table/figure benchmark plus the tracing-overhead
 ## gate through `go test` directly (the pre-harness form of `make bench`)
@@ -58,7 +61,7 @@ bench-check:
 bench-smoke:
 	@tmp=$$(mktemp -d) && \
 	$(GO) build -o $$tmp/urllc-bench ./cmd/urllc-bench && \
-	$$tmp/urllc-bench -short -benchtime 5x -out $$tmp/smoke.json >/dev/null && \
+	$$tmp/urllc-bench -short -benchtime 20x -out $$tmp/smoke.json >/dev/null && \
 	$$tmp/urllc-bench -validate $$tmp/smoke.json && \
 	$$tmp/urllc-bench -baseline $$tmp/smoke.json -input $$tmp/smoke.json -check >/dev/null && \
 	sed 's/"ns_per_op": /"ns_per_op": 100/' $$tmp/smoke.json > $$tmp/slow.json && \
@@ -151,6 +154,41 @@ cell-smoke:
 	grep -q 'Jain(throughput)' $$tmp/kpi.out && \
 	grep -q 'latency bound at CCDF' $$tmp/kpi.out && \
 	echo "cell-smoke OK: CG-vs-dynamic worker-invariant, per-UE KPIs rendered ($$tmp)" && rm -rf $$tmp
+
+## obs-smoke: the always-on-observability contract, end to end — sampling
+## (off, explicit 1, or 0.25) leaves default stdout byte-identical, a sampled
+## trace thins on disk yet reports the exact same feasibility table while
+## stating its effective rate, a sampled sweep stays worker-invariant, and a
+## self-profiled run carries the measured observer tax into urllc-report
+obs-smoke:
+	@tmp=$$(mktemp -d) && \
+	$(GO) build -o $$tmp/urllcsim ./cmd/urllcsim && \
+	$(GO) build -o $$tmp/urllc-sweep ./cmd/urllc-sweep && \
+	$(GO) build -o $$tmp/urllc-report ./cmd/urllc-report && \
+	$$tmp/urllcsim -packets 40 > $$tmp/plain.out && \
+	$$tmp/urllcsim -packets 40 -sample-rate 1 -jsonl-out $$tmp/full.jsonl > $$tmp/rate1.out && \
+	$$tmp/urllcsim -packets 40 -sample-rate 0.25 -jsonl-out $$tmp/qtr.jsonl > $$tmp/qtr.out && \
+	cmp $$tmp/plain.out $$tmp/rate1.out && cmp $$tmp/plain.out $$tmp/qtr.out && \
+	[ $$(wc -c < $$tmp/qtr.jsonl) -lt $$(wc -c < $$tmp/full.jsonl) ] && \
+	$$tmp/urllc-report $$tmp/full.jsonl > $$tmp/full.md && \
+	$$tmp/urllc-report $$tmp/qtr.jsonl > $$tmp/qtr.md && \
+	grep -q 'Effective span sample rate: 0.25' $$tmp/qtr.md && \
+	! grep -q 'Effective span sample rate' $$tmp/full.md && \
+	sed -n '/### Feasibility/,/^$$/p' $$tmp/full.md > $$tmp/full.feas && \
+	sed -n '/### Feasibility/,/^$$/p' $$tmp/qtr.md > $$tmp/qtr.feas && \
+	cmp $$tmp/full.feas $$tmp/qtr.feas && \
+	$$tmp/urllc-sweep -pattern DDDU -replicas 4 -packets 15 -sample-rate 0.2 \
+		-parallel 1 -out $$tmp/o1.md && \
+	$$tmp/urllc-sweep -pattern DDDU -replicas 4 -packets 15 -sample-rate 0.2 \
+		-parallel 4 -out $$tmp/o4.md && \
+	cmp $$tmp/o1.md $$tmp/o4.md && \
+	grep -q 'Effective span sample rate: 0.2' $$tmp/o1.md && \
+	$$tmp/urllcsim -packets 40 -jsonl-out $$tmp/p.jsonl -prof-out $$tmp/prof.jsonl \
+		> $$tmp/prof.out 2>/dev/null && \
+	cmp $$tmp/plain.out $$tmp/prof.out && \
+	$$tmp/urllc-report $$tmp/prof.jsonl > $$tmp/prof.md && \
+	grep -q 'observer tax:' $$tmp/prof.md && \
+	echo "obs-smoke OK: stdout untouched at every rate, tail exact, sampled sweep worker-invariant, observer tax reported ($$tmp)" && rm -rf $$tmp
 
 ## sweep-smoke: a small parallel config grid must reproduce the sequential
 ## golden byte-for-byte — the worker-count-invariance contract, end to end

@@ -9,6 +9,10 @@
 // occupancy" section; KPI files (urllcsim -kpi-out, urllcsim-kpi/v1) — and
 // any trace carrying outcome records — render a "Per-UE KPIs" section with
 // Age-of-Information, Jain fairness and reliability CCDF excerpts.
+// Self-profile files (urllcsim -prof-out, urllcsim-profile/v3) render the
+// engine's per-event-type wall attribution and, when the run was metered,
+// its measured observer-tax line. Traces written with sampling state their
+// effective sample rate in the audit header.
 //
 //	urllcsim -jsonl-out run.jsonl
 //	urllc-report run.jsonl                      # Markdown to stdout
@@ -35,6 +39,7 @@ import (
 	"urllcsim/internal/obs"
 	"urllcsim/internal/obs/analyze"
 	"urllcsim/internal/obs/flight"
+	"urllcsim/internal/obs/prof"
 	"urllcsim/internal/sim"
 	"urllcsim/internal/version"
 )
@@ -65,6 +70,11 @@ func main() {
 	var forensics []*flight.File
 	var slotFiles []*obs.SlotFile
 	var kpis []*analyze.KPIReport
+	type labeledProfile struct {
+		label string
+		rep   *prof.Report
+	}
+	var profiles []labeledProfile
 	for _, path := range flag.Args() {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -93,9 +103,14 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
 			os.Exit(1)
 		}
+		pf, err := prof.ReadJSONL(bytes.NewReader(data))
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", path, err)
+			os.Exit(1)
+		}
 		hasTrace := len(tr.Spans)+len(tr.Outcomes)+len(tr.Events) > 0
-		if !hasTrace && !fl.HasMeta && !sf.HasMeta && !kf.HasMeta {
-			fmt.Fprintf(os.Stderr, "%s: no trace, flight, slot or kpi records (empty or non-JSONL input)\n", path)
+		if !hasTrace && !fl.HasMeta && !sf.HasMeta && !kf.HasMeta && len(pf) == 0 {
+			fmt.Fprintf(os.Stderr, "%s: no trace, flight, slot, kpi or profile records (empty or non-JSONL input)\n", path)
 			os.Exit(1)
 		}
 		label := strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
@@ -125,6 +140,9 @@ func main() {
 			}
 			kpis = append(kpis, &kf.Report)
 		}
+		for _, rep := range pf {
+			profiles = append(profiles, labeledProfile{label: label, rep: rep})
+		}
 	}
 
 	writeReport := func(w io.Writer) error {
@@ -145,6 +163,11 @@ func main() {
 		}
 		for _, fl := range forensics {
 			if err := flight.WriteMarkdown(w, fl); err != nil {
+				return err
+			}
+		}
+		for _, lp := range profiles {
+			if _, err := fmt.Fprintf(w, "\n_self-profile: %s (%s)_\n\n%s", lp.label, lp.rep.Schema, lp.rep.MarkdownTable()); err != nil {
 				return err
 			}
 		}

@@ -84,6 +84,7 @@ func main() {
 	flightTopK := flag.Int("flight-topk", flight.DefaultTopK, "per-direction worst-latency exemplars kept per grid point after the merge")
 	slotsOut := flag.String("slots-out", "", "write the merged per-slot occupancy ledger (JSONL) of every grid point to this file; the merge is bit-identical for any -parallel value")
 	ues := flag.Int("ues", 1, "logical UEs packets are attributed to round-robin (labels only; the schedule is unchanged)")
+	sampleRate := flag.Float64("sample-rate", 1, "deterministic per-packet span sampling rate in (0,1]; keyed by packet identity and the shard seed, so the merged report is still bit-identical for any -parallel value. Outcome counts and tail quantiles stay exact")
 	showVersion := flag.Bool("version", false, "print build and schema versions, then exit")
 	flag.Parse()
 
@@ -94,7 +95,7 @@ func main() {
 
 	if err := run(*patterns, *slots, *grantfree, *radios, *replicas, *packets,
 		*parallel, *seed, *deadline, *summary, *perf, *out, *flightOut, *flightTopK,
-		*slotsOut, *ues); err != nil {
+		*slotsOut, *ues, *sampleRate); err != nil {
 		fmt.Fprintln(os.Stderr, "urllc-sweep:", err)
 		os.Exit(1)
 	}
@@ -102,7 +103,7 @@ func main() {
 
 func run(patterns, slots, grantfree, radios string, replicas, packets, parallel int,
 	seed uint64, deadline time.Duration, summary, perf bool, out, flightOut string, flightTopK int,
-	slotsOut string, ues int) error {
+	slotsOut string, ues int, sampleRate float64) error {
 	grid, err := buildGrid(patterns, slots, grantfree, radios)
 	if err != nil {
 		return err
@@ -120,7 +121,7 @@ func run(patterns, slots, grantfree, radios string, replicas, packets, parallel 
 	// worker layout by construction.
 	runs, err := sweep.Run(parallel, len(grid)*replicas, func(i int) (replicaOut, error) {
 		return runReplica(grid[i/replicas], i, sweep.Seed(seed, i), packets, deadline, perf,
-			flightOut != "", flightTopK, slotsOut != "", ues)
+			flightOut != "", flightTopK, slotsOut != "", ues, sampleRate)
 	})
 	if err != nil {
 		return err
@@ -256,8 +257,15 @@ func perfSection(grid []point, runs []replicaOut, replicas int) string {
 // packets offered uniformly in each direction, and returns the trace and
 // registry for the shard-ordered merge.
 func runReplica(pt point, shard int, seed uint64, packets int, deadline time.Duration,
-	perf bool, withFlight bool, flightTopK int, withSlots bool, ues int) (replicaOut, error) {
+	perf bool, withFlight bool, flightTopK int, withSlots bool, ues int, sampleRate float64) (replicaOut, error) {
 	rec := obs.NewRecorder()
+	if sampleRate < 1 {
+		// Deterministic head sampling keyed by (shard seed, packet id): the
+		// same packets are admitted at any -parallel value, so the sampled
+		// sweep keeps the worker-count-invariance contract. The flight tap
+		// rides before the gate, so the audited tail stays exact.
+		rec.SetSampling(sampleRate, seed)
+	}
 	if withSlots {
 		rec.EnableSlotLedger()
 	}

@@ -119,7 +119,7 @@ func main() {
 	fmt.Printf("journey of a %s packet (%s, DDDU @ 0.5ms slots, USB2 B210)\n", dirName, access)
 	fmt.Printf("arrival %v, delivered=%v, one-way latency %v, attempts %d\n\n",
 		*at, r.Delivered, r.Latency.Round(time.Microsecond), r.Attempts)
-	fmt.Print(r.Journey)
+	fmt.Print(r.Journey())
 	fmt.Printf("\nshares: protocol %.0f%%, processing %.0f%%, radio %.0f%%\n",
 		100*r.ProtocolShare, 100*r.ProcessingShare, 100*r.RadioShare)
 

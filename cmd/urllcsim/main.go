@@ -41,6 +41,7 @@ func main() {
 	metricsOut := flag.String("metrics-out", "", "write the metrics registry summary as CSV to this file")
 	snapshotsOut := flag.String("snapshots-out", "", "write per-slot counter/gauge snapshots as CSV to this file")
 	jsonlOut := flag.String("jsonl-out", "", "write the span/outcome/event trace as JSONL to this file (input for urllc-report)")
+	sampleRate := flag.Float64("sample-rate", 1, "deterministic per-packet span/event sampling rate in (0,1]; 1 keeps everything. Outcomes, metrics, deadline audits and flight forensics stay exact at every rate")
 	slotsOut := flag.String("slots-out", "", "write the per-tick slot-occupancy ledger as JSONL (urllcsim-slots/v1; input for urllc-report) to this file")
 	kpiOut := flag.String("kpi-out", "", "write per-UE KPIs (AoI, fairness, reliability CCDF) as JSONL (urllcsim-kpi/v1; input for urllc-report) to this file")
 	serve := flag.String("serve", "", "serve live telemetry on this address (e.g. :9090): /metrics Prometheus text, /debug/vars expvar, /debug/pprof; keeps serving after the run until interrupted")
@@ -98,6 +99,13 @@ func main() {
 	keepSpans := *traceOut != "" || *jsonlOut != ""
 	keepOutcomes := keepSpans || *kpiOut != ""
 	rec.SetRetention(keepSpans, keepOutcomes)
+	if *sampleRate < 1 {
+		// Deterministic head sampling keyed by packet identity: the same
+		// seed admits the same packets at any worker count or serve mode.
+		// The flight tap sees the full stream (it rides before the gate),
+		// so the audited tail stays exact.
+		rec.SetSampling(*sampleRate, *seed)
+	}
 	if *slotsOut != "" {
 		rec.EnableSlotLedger()
 	}
@@ -172,6 +180,28 @@ func main() {
 	var profiler *prof.Profiler
 	if *profOut != "" || *wdBaseline != "" {
 		profiler = prof.Attach(sc.Engine())
+		// Meter the recorder so the profile carries a measured observer-tax
+		// line (wall inside obs.*, records handled, retained bytes).
+		profiler.MeterObs(rec)
+	}
+
+	// When only the JSONL export needs spans, stream them to the file during
+	// the run: the retained span log stays bounded at the spill capacity
+	// instead of growing with the run, and the finished file is byte-identical
+	// to the post-run WriteJSONL form.
+	var jsonlStream *obs.JSONLStream
+	var jsonlFile *os.File
+	if *jsonlOut != "" && *traceOut == "" {
+		jsonlFile, err = os.Create(*jsonlOut)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		jsonlStream, err = obs.StreamJSONL(jsonlFile, rec, 8192)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 	}
 
 	period := 2 * time.Millisecond
@@ -189,6 +219,17 @@ func main() {
 		}
 	}
 	results := sc.Run(time.Duration(*packets+50) * period)
+
+	if jsonlStream != nil {
+		if err := jsonlStream.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		if err := jsonlFile.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	if profiler != nil {
 		rep := profiler.Finish()
@@ -223,7 +264,7 @@ func main() {
 		{*traceOut, func(w io.Writer) error { return obs.WriteChromeTrace(w, rec) }},
 		{*metricsOut, func(w io.Writer) error { return obs.WriteMetricsCSV(w, rec.Metrics()) }},
 		{*snapshotsOut, func(w io.Writer) error { return obs.WriteSnapshotsCSV(w, rec.Metrics()) }},
-		{*jsonlOut, func(w io.Writer) error { return obs.WriteJSONL(w, rec) }},
+		{jsonlBatchPath(*jsonlOut, jsonlStream != nil), func(w io.Writer) error { return obs.WriteJSONL(w, rec) }},
 		{*slotsOut, func(w io.Writer) error { return obs.WriteSlotsJSONL(w, rec.Slots(), flightLabel) }},
 		{*kpiOut, func(w io.Writer) error {
 			rep := analyze.ComputeKPI(analyze.FromRecorder(rec), flightLabel)
@@ -316,6 +357,15 @@ func main() {
 		<-ch
 		live.Close()
 	}
+}
+
+// jsonlBatchPath suppresses the batch JSONL export when the run already
+// streamed the file.
+func jsonlBatchPath(path string, streamed bool) string {
+	if streamed {
+		return ""
+	}
+	return path
 }
 
 // checkBaseline compares this run's measured engine throughput against the

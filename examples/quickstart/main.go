@@ -33,7 +33,7 @@ func main() {
 		}
 		fmt.Printf("=== %s ping: %v one-way (delivered=%v) ===\n",
 			dir, r.Latency.Round(time.Microsecond), r.Delivered)
-		fmt.Print(r.Journey)
+		fmt.Print(r.Journey())
 		fmt.Printf("latency sources: protocol %.0f%% / processing %.0f%% / radio %.0f%%\n\n",
 			100*r.ProtocolShare, 100*r.ProcessingShare, 100*r.RadioShare)
 	}

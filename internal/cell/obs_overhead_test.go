@@ -1,0 +1,73 @@
+package cell
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"urllcsim/internal/obs"
+)
+
+// cellOverheadRun is one 500-machine, 2-cycle cell through the real
+// dynamic-grant scheduler — the C2 workload, halved so the interleaved
+// measurement below finishes quickly.
+func cellOverheadRun(t testing.TB, rec *obs.Recorder) {
+	res, err := Run(Config{UEs: 500, Cycles: 2, Seed: 7, Obs: rec})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Pending != 0 || res.Offered != 1000 {
+		t.Fatalf("cell run degenerate: %+v", *res)
+	}
+}
+
+// TestCellObserverTax measures the observer tax where it matters — at cell
+// scale, where the base operation is a 500-UE scheduler run rather than the
+// single-UE scenario of TestTracingOverheadInterleaved. Disabled, fully
+// traced (spans + per-UE labeled metrics + slot ledger) and 1/16-sampled
+// runs are interleaved round-robin and compared by median, which is stable
+// where sequential timing is not. The loose bound is a tripwire against
+// reintroducing per-event cost on either path; the measured medians feed the
+// EXPERIMENTS.md P2 table.
+func TestCellObserverTax(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement; skipped in -short")
+	}
+	recE := obs.NewRecorder()
+	recE.EnableSlotLedger()
+	recS := obs.NewRecorder()
+	recS.EnableSlotLedger()
+	recS.SetSampling(1.0/16, 7)
+	cellOverheadRun(t, recE) // warm to steady state: later cycles recycle slabs
+	cellOverheadRun(t, recS)
+	rounds := 15
+	if testing.Verbose() {
+		rounds = 60
+	}
+	var dT, eT, sT []float64
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		cellOverheadRun(t, nil)
+		t1 := time.Now()
+		recE.Reset()
+		cellOverheadRun(t, recE)
+		t2 := time.Now()
+		recS.Reset()
+		cellOverheadRun(t, recS)
+		t3 := time.Now()
+		dT = append(dT, t1.Sub(t0).Seconds())
+		eT = append(eT, t2.Sub(t1).Seconds())
+		sT = append(sT, t3.Sub(t2).Seconds())
+	}
+	med := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	d, e, s := med(dT), med(eT), med(sT)
+	t.Logf("500-UE cell median: disabled %.2fms, full tracing %.2fms (+%.1f%%), sampled 1/16 %.2fms (+%.1f%%)",
+		d*1e3, e*1e3, (e/d-1)*100, s*1e3, (s/d-1)*100)
+	if e > d*1.5 {
+		t.Errorf("enabled median %.2fms is more than 1.5× the disabled median %.2fms", e*1e3, d*1e3)
+	}
+}

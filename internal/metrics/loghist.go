@@ -92,9 +92,7 @@ func (h *LogHistogram) BucketWidth(v int64) int64 { return logWidth(logIndex(v))
 func (h *LogHistogram) Add(v int64) {
 	idx := logIndex(v)
 	if idx >= len(h.counts) {
-		grown := make([]int64, idx+1)
-		copy(grown, h.counts)
-		h.counts = grown
+		h.grow(idx + 1)
 	}
 	h.counts[idx]++
 	h.total++
@@ -109,6 +107,39 @@ func (h *LogHistogram) Add(v int64) {
 
 // AddDuration records a duration as integer nanoseconds.
 func (h *LogHistogram) AddDuration(d sim.Duration) { h.Add(int64(d)) }
+
+// Reset empties the histogram in place. The lazily-grown bucket array keeps
+// its capacity (for ns-scale latencies that array is tens of kilobytes — the
+// dominant allocation of a fresh registry), so a reset histogram records its
+// next run without re-growing: the recycling half of the observability
+// layer's steady-state zero-allocation contract. Only the touched bucket
+// window is zeroed: logIndex is monotonic, so no bucket below
+// logIndex(min) can hold a count, and for ns-scale latency data that skips
+// the bulk of the array.
+func (h *LogHistogram) Reset() {
+	counts := h.counts[:0]
+	if h.total > 0 {
+		clear(h.counts[logIndex(h.min):])
+	}
+	*h = LogHistogram{counts: counts}
+}
+
+// grow extends the bucket array to at least n entries. Spare capacity (left
+// behind by Reset) is re-extended in place — Reset leaves every former
+// bucket zero, so the reclaimed tail is already zero.
+func (h *LogHistogram) grow(n int) {
+	if n <= cap(h.counts) {
+		h.counts = h.counts[:n]
+		return
+	}
+	grown := make([]int64, n)
+	copy(grown, h.counts)
+	h.counts = grown
+}
+
+// StorageBytes returns the bytes held by the bucket array (capacity, not
+// length) — the footprint the observability layer's self-accounting reports.
+func (h *LogHistogram) StorageBytes() int64 { return int64(cap(h.counts)) * 8 }
 
 // N returns the number of recorded values.
 func (h *LogHistogram) N() int64 { return h.total }
@@ -203,9 +234,7 @@ func (h *LogHistogram) Merge(o *LogHistogram) {
 		return
 	}
 	if len(o.counts) > len(h.counts) {
-		grown := make([]int64, len(o.counts))
-		copy(grown, h.counts)
-		h.counts = grown
+		h.grow(len(o.counts))
 	}
 	for i, c := range o.counts {
 		h.counts[i] += c

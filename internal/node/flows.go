@@ -60,27 +60,105 @@ var missCounter = [core.NumSources]string{
 	core.Radio:      "budget.miss.radio",
 }
 
+// obsHandles batches every per-packet and per-slot metric the node layer
+// records behind pre-resolved obs handles, replacing the name-keyed map
+// lookups on the hot path. Handles resolve lazily on first use, so the
+// registry's registration order — and therefore every summary, snapshot and
+// export byte — is identical to the name-keyed form. Built from a nil
+// recorder the whole struct is the disabled state: each record costs one
+// comparison.
+type obsHandles struct {
+	slotsPlanned obs.CounterHandle
+	grantsIssued obs.CounterHandle
+	radioMisses  obs.CounterHandle
+	srsSent      obs.CounterHandle
+	cgCollision  obs.CounterHandle
+	harqRetx     obs.CounterHandle
+	crcFailures  obs.CounterHandle
+	rlcRxDrops   obs.CounterHandle
+	delivered    obs.CounterHandle
+	lost         obs.CounterHandle
+	deadlineMet  obs.CounterHandle
+	deadlineMiss obs.CounterHandle
+	missBySource [core.NumSources]obs.CounterHandle
+
+	rlcQueueDepth obs.GaugeHandle
+	srPending     obs.GaugeHandle
+	harqInflight  obs.GaugeHandle
+
+	latUL        obs.TimingHandle
+	latDL        obs.TimingHandle
+	rlcQueueWait obs.TimingHandle
+	gnbProc      [len(gnbTimingName)]obs.TimingHandle
+	ueProc       [len(ueTimingName)]obs.TimingHandle
+
+	pktByUE     obs.CounterFamHandle[obs.PktEvent]
+	latByUE     obs.HistFamHandle[obs.UEDir]
+	slotDLTake  obs.GaugeFamHandle[obs.UEKey]
+	slotULGrant obs.GaugeFamHandle[obs.UEKey]
+}
+
+func newObsHandles(r *obs.Recorder) obsHandles {
+	h := obsHandles{
+		slotsPlanned: r.CounterH(cSlotsPlanned),
+		grantsIssued: r.CounterH(cGrantsIssued),
+		radioMisses:  r.CounterH(cRadioMisses),
+		srsSent:      r.CounterH(cSRsSent),
+		cgCollision:  r.CounterH(cCGCollision),
+		harqRetx:     r.CounterH(cHARQRetx),
+		crcFailures:  r.CounterH(cCRCFailures),
+		rlcRxDrops:   r.CounterH(cRLCRxDrops),
+		delivered:    r.CounterH(cDelivered),
+		lost:         r.CounterH(cLost),
+		deadlineMet:  r.CounterH(cDeadlineMet),
+		deadlineMiss: r.CounterH(cDeadlineMiss),
+
+		rlcQueueDepth: r.GaugeH(gRLCQueueDepth),
+		srPending:     r.GaugeH(gSRPending),
+		harqInflight:  r.GaugeH(gHARQInflight),
+
+		latUL:        r.TimingH(tLatUL),
+		latDL:        r.TimingH(tLatDL),
+		rlcQueueWait: r.TimingH(tRLCQueueWait),
+
+		pktByUE:     obs.CounterFamH[obs.PktEvent](r, fPktByUE),
+		latByUE:     obs.HistFamH[obs.UEDir](r, fLatByUE),
+		slotDLTake:  obs.GaugeFamH[obs.UEKey](r, fSlotDLTake),
+		slotULGrant: obs.GaugeFamH[obs.UEKey](r, fSlotULGrant),
+	}
+	for src, name := range missCounter {
+		h.missBySource[src] = r.CounterH(name)
+	}
+	for l, name := range gnbTimingName {
+		h.gnbProc[l] = r.TimingH(name)
+	}
+	for l, name := range ueTimingName {
+		h.ueProc[l] = r.TimingH(name)
+	}
+	return h
+}
+
 // audit emits the packet's obs.Outcome, its per-UE labeled samples and, when
 // a deadline is configured, its verdict against the one-way budget.
 func (s *System) audit(id, ue int, dir obs.Dir, ok bool, lat sim.Duration, attempts int, bd *core.Breakdown) {
 	s.obs.Outcome(obs.Outcome{Packet: id, UE: ue, Dir: dir, Delivered: ok, Latency: lat, Attempts: attempts, End: s.Eng.Now()})
 	if ok {
-		obs.CountIn(s.obs, fPktByUE, obs.PktEvent{UE: ue, Dir: dir, Event: "delivered"}, 1)
-		obs.ObserveIn(s.obs, fLatByUE, obs.UEDir{UE: ue, Dir: dir}, lat)
+		s.h.pktByUE.Add(obs.PktEvent{UE: ue, Dir: dir, Event: "delivered"}, 1)
+		s.h.latByUE.Observe(obs.UEDir{UE: ue, Dir: dir}, lat)
 	} else {
-		obs.CountIn(s.obs, fPktByUE, obs.PktEvent{UE: ue, Dir: dir, Event: "lost"}, 1)
+		s.h.pktByUE.Add(obs.PktEvent{UE: ue, Dir: dir, Event: "lost"}, 1)
 	}
 	if s.cfg.Deadline <= 0 {
 		return
 	}
 	if ok && lat <= s.cfg.Deadline {
-		s.obs.Count(cDeadlineMet, 1)
-		obs.CountIn(s.obs, fPktByUE, obs.PktEvent{UE: ue, Dir: dir, Event: "deadline_met"}, 1)
+		s.h.deadlineMet.Inc()
+		s.h.pktByUE.Add(obs.PktEvent{UE: ue, Dir: dir, Event: "deadline_met"}, 1)
 		return
 	}
-	s.obs.Count(cDeadlineMiss, 1)
-	s.obs.Count(missCounter[bd.Dominant()], 1)
-	obs.CountIn(s.obs, fPktByUE, obs.PktEvent{UE: ue, Dir: dir, Event: "deadline_miss"}, 1)
+	s.h.deadlineMiss.Inc()
+	s.h.missBySource[bd.Dominant()].Inc()
+	s.h.pktByUE.Add(obs.PktEvent{UE: ue, Dir: dir, Event: "deadline_miss"}, 1)
 }
 
 // gnbTimingName / ueTimingName map a processing layer to its obs timing
@@ -110,12 +188,12 @@ func (s *System) seg(bd *core.Breakdown, id int, dir obs.Dir, layer obs.Layer,
 // are delivered, requeued or dropped.
 func (s *System) harqLaunch(n int) {
 	s.harqActive += n
-	s.obs.SetGauge(gHARQInflight, float64(s.harqActive))
+	s.h.harqInflight.Set(float64(s.harqActive))
 }
 
 func (s *System) harqResolve(n int) {
 	s.harqActive -= n
-	s.obs.SetGauge(gHARQInflight, float64(s.harqActive))
+	s.h.harqInflight.Set(float64(s.harqActive))
 }
 
 // rlcQ abbreviates the stack's queue entry type in this file.
@@ -132,13 +210,13 @@ func rlcQueued(p *dlPacket) rlcQ {
 func (s *System) sampleGNB(l proc.Layer) sim.Duration {
 	d := s.cfg.GNBProfile.Sample(l, s.cfg.NUEs, s.rng)
 	s.layerStats[l.String()].AddDuration(d)
-	s.obs.Observe(gnbTimingName[l], d)
+	s.h.gnbProc[l].Observe(d)
 	return d
 }
 
 func (s *System) sampleUE(l proc.Layer) sim.Duration {
 	d := s.cfg.UEProfile.Sample(l, 1, s.rng)
-	s.obs.Observe(ueTimingName[l], d)
+	s.h.ueProc[l].Observe(d)
 	return d
 }
 
@@ -165,8 +243,9 @@ func (s *System) scheduleTick(b sim.Time) {
 }
 
 func (s *System) tick(b sim.Time) {
-	// Assemble the scheduler's view of the DL RLC queue.
-	var items []sched.DLItem
+	// Assemble the scheduler's view of the DL RLC queue, reusing last tick's
+	// item slice (the scheduler only reads it within Tick).
+	items := s.tickItems[:0]
 	for _, q := range s.gnbRLC.Peek() {
 		ue := 0
 		if p := s.dlItems[q.ID]; p != nil {
@@ -174,10 +253,11 @@ func (s *System) tick(b sim.Time) {
 		}
 		items = append(items, sched.DLItem{ID: q.ID, UE: ue, Bytes: len(q.Data), EnqueuedAt: q.EnqueuedAt})
 	}
-	s.obs.SetGauge(gRLCQueueDepth, float64(len(items)))
+	s.tickItems = items
+	s.h.rlcQueueDepth.Set(float64(len(items)))
 	plan := s.sch.Tick(b, items)
 	if plan.TargetDL != sim.Never {
-		s.obs.Count(cSlotsPlanned, 1)
+		s.h.slotsPlanned.Inc()
 	}
 
 	if len(plan.DLPlanned) > 0 {
@@ -187,7 +267,7 @@ func (s *System) tick(b sim.Time) {
 		for _, q := range taken {
 			wait := b.Sub(q.EnqueuedAt)
 			s.layerStats["RLC-q"].AddDuration(wait)
-			s.obs.Observe(tRLCQueueWait, wait)
+			s.h.rlcQueueWait.Observe(wait)
 			if p := s.dlItems[q.ID]; p != nil {
 				s.seg(p.bd, p.id, obs.DirDL, obs.LayerRLC,
 					"⑨ RLC queue (SCHE wait)", core.Protocol, q.EnqueuedAt, wait)
@@ -197,12 +277,14 @@ func (s *System) tick(b sim.Time) {
 		}
 		s.launchDL(b, plan, taken)
 	}
+	if n := len(plan.ULGrants); n > 0 {
+		s.h.grantsIssued.Add(int64(n))
+	}
 	for _, g := range plan.ULGrants {
 		s.counters.GrantsIssued++
-		s.obs.Count(cGrantsIssued, 1)
 		s.deliverGrant(plan.TargetDL, g)
 	}
-	s.obs.SetGauge(gSRPending, float64(s.sch.PendingSRs()))
+	s.h.srPending.Set(float64(s.sch.PendingSRs()))
 	if s.obs.SlotLedgerEnabled() {
 		s.stampSlot(b, plan, len(items))
 	}
@@ -227,36 +309,53 @@ func (s *System) stampSlot(b sim.Time, plan sched.Plan, queueDepth int) {
 		SRsPending:   s.sch.PendingSRs(),
 		SRsDeferred:  plan.SRsDeferred,
 	}
-	take := map[int]*obs.SlotUETake{}
-	var order []int
-	at := func(ue int) *obs.SlotUETake {
-		t, ok := take[ue]
-		if !ok {
-			t = &obs.SlotUETake{UE: ue}
-			take[ue] = t
-			order = append(order, ue)
-		}
-		return t
+	// Pooled per-tick scratch: the UE-take accumulation reuses the System's
+	// index map, take buffer and order slice across slots, so a ledger-enabled
+	// run's per-tick cost is map clears and appends into retained storage.
+	if s.takeIdx == nil {
+		s.takeIdx = make(map[int]int)
 	}
+	clear(s.takeIdx)
+	s.takeBuf = s.takeBuf[:0]
+	s.takeOrder = s.takeOrder[:0]
 	for _, a := range plan.DLAllocs {
-		t := at(a.UE)
-		t.DLBytes += a.Bytes
-		t.DLItems += len(a.ItemIDs)
+		i := s.takeAt(a.UE)
+		s.takeBuf[i].DLBytes += a.Bytes
+		s.takeBuf[i].DLItems += len(a.ItemIDs)
 	}
 	for _, g := range plan.ULGrants {
 		rec.ULGrantBytes += g.Bytes
-		t := at(g.UE)
-		t.ULBytes += g.Bytes
-		t.ULGrants++
+		i := s.takeAt(g.UE)
+		s.takeBuf[i].ULBytes += g.Bytes
+		s.takeBuf[i].ULGrants++
 	}
-	sort.Ints(order)
-	for _, ue := range order {
-		t := take[ue]
-		rec.PerUE = append(rec.PerUE, *t)
-		obs.GaugeIn(s.obs, fSlotDLTake, obs.UEKey{UE: ue}, float64(t.DLBytes))
-		obs.GaugeIn(s.obs, fSlotULGrant, obs.UEKey{UE: ue}, float64(t.ULBytes))
+	sort.Ints(s.takeOrder)
+	if len(s.takeOrder) > 0 {
+		// The record is retained by the recorder, so PerUE must be a fresh
+		// slice — only the accumulation scratch is pooled. Left nil when no
+		// UE took anything, matching the pre-pooling wire form.
+		rec.PerUE = make([]obs.SlotUETake, 0, len(s.takeOrder))
+	}
+	for _, ue := range s.takeOrder {
+		t := s.takeBuf[s.takeIdx[ue]]
+		rec.PerUE = append(rec.PerUE, t)
+		s.h.slotDLTake.Set(obs.UEKey{UE: ue}, float64(t.DLBytes))
+		s.h.slotULGrant.Set(obs.UEKey{UE: ue}, float64(t.ULBytes))
 	}
 	s.obs.Slot(rec)
+}
+
+// takeAt returns the index of UE ue's take accumulator in s.takeBuf, creating
+// it on first touch this tick.
+func (s *System) takeAt(ue int) int {
+	if i, ok := s.takeIdx[ue]; ok {
+		return i
+	}
+	i := len(s.takeBuf)
+	s.takeBuf = append(s.takeBuf, obs.SlotUETake{UE: ue})
+	s.takeIdx[ue] = i
+	s.takeOrder = append(s.takeOrder, ue)
+	return i
 }
 
 // ---------------------------------------------------------------------------
@@ -329,7 +428,7 @@ func (s *System) launchDL(b sim.Time, plan sched.Plan, taken []rlcQ) {
 		// The radio was not ready when the slot started: the transmission
 		// is corrupted (§4). Re-enqueue everything for the next boundary.
 		s.counters.RadioMisses++
-		s.obs.Count(cRadioMisses, 1)
+		s.h.radioMisses.Inc()
 		s.Eng.Schedule(ready, "dl.radiomiss", func() {
 			for _, q := range taken {
 				if p := s.dlItems[q.ID]; p != nil {
@@ -425,7 +524,7 @@ func (s *System) transmitDL(target sim.Time, taken []rlcQ) {
 		s.harqResolve(1)
 		if txErr != nil {
 			s.counters.PHYLosses++
-			s.obs.Count(cCRCFailures, 1)
+			s.h.crcFailures.Inc()
 			for _, id := range ids {
 				if p := s.dlItems[id]; p != nil {
 					s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirDL, Kind: obs.EdgeCRCFail,
@@ -458,7 +557,7 @@ func (s *System) transmitDL(target sim.Time, taken []rlcQ) {
 					if p.attempts >= s.cfg.HARQMaxTx {
 						s.finishDL(p, requeueAt, false)
 					} else {
-						s.obs.Count(cHARQRetx, 1)
+						s.h.harqRetx.Inc()
 						s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirDL, Kind: obs.EdgeHARQRetx,
 							Time: requeueAt, Arg: int64(p.attempts + 1)})
 						s.seg(p.bd, p.id, obs.DirDL, obs.LayerMAC,
@@ -496,7 +595,7 @@ func (s *System) ueReceiveDL(at sim.Time, tb []byte, ids []int) {
 		for _, pl := range payloads {
 			sdu, err := s.ueRLCRx.Receive(pl)
 			if err != nil {
-				s.obs.Count(cRLCRxDrops, 1)
+				s.h.rlcRxDrops.Inc()
 				continue
 			}
 			if sdu == nil {
@@ -532,10 +631,10 @@ func (s *System) finishDL(p *dlPacket, at sim.Time, ok bool) {
 	delete(s.dlItems, p.id)
 	lat := at.Sub(p.offered)
 	if ok {
-		s.obs.Count(cDelivered, 1)
-		s.obs.Observe(tLatDL, lat)
+		s.h.delivered.Inc()
+		s.h.latDL.Observe(lat)
 	} else {
-		s.obs.Count(cLost, 1)
+		s.h.lost.Inc()
 	}
 	s.results = append(s.results, Result{
 		ID: p.id, Uplink: false, Delivered: ok,

@@ -225,8 +225,16 @@ type System struct {
 	// Table 2 instrumentation.
 	layerStats map[string]*metrics.Accumulator
 
-	// obs is the structured observability sink (nil when disabled).
-	obs *obs.Recorder
+	// obs is the structured observability sink (nil when disabled); h holds
+	// its pre-resolved metric handles (zero handles when disabled), and the
+	// scratch fields below are per-tick workspaces reused across slots so
+	// the gnb.tick bookkeeping path allocates nothing at steady state.
+	obs       *obs.Recorder
+	h         obsHandles
+	tickItems []sched.DLItem
+	takeIdx   map[int]int
+	takeBuf   []obs.SlotUETake
+	takeOrder []int
 	// harqActive counts transport blocks launched on air and not yet
 	// resolved (the in-flight HARQ process gauge).
 	harqActive int
@@ -332,7 +340,8 @@ func NewSystem(cfg Config) (*System, error) {
 		pingDLID:   map[int]int{},
 		obs:        cfg.Obs,
 	}
-	if s.obs != nil {
+	s.h = newObsHandles(s.obs)
+	if s.obs.EngineEventsEnabled() {
 		s.Eng.Sink = s.obs
 	}
 	phyMode := stack.PHYAnalytic

@@ -72,7 +72,7 @@ func (s *System) ulSendSR(p *ulPacket) {
 	}
 	s.seg(p.bd, p.id, obs.DirUL, obs.LayerSched, "② wait for UL slot + SR", core.Protocol, p.ready, srStart.Sub(p.ready)+sym)
 	s.counters.SRsSent++
-	s.obs.Count(cSRsSent, 1)
+	s.h.srsSent.Inc()
 	s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeSRSent,
 		Time: srStart, Ref: p.ready, Arg: int64(srStart.Sub(p.ready))})
 	srEnd := srStart.Add(sym)
@@ -282,12 +282,12 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 		collided := s.cgCollided(p)
 		if collided {
 			s.counters.CGCollisions++
-			s.obs.Count(cCGCollision, 1)
+			s.h.cgCollision.Inc()
 		}
 		if txErr != nil || collided {
 			if txErr != nil {
 				s.counters.PHYLosses++
-				s.obs.Count(cCRCFailures, 1)
+				s.h.crcFailures.Inc()
 			}
 			p.attempts++
 			s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeCRCFail,
@@ -299,7 +299,7 @@ func (s *System) ulTransmitAt(p *ulPacket, slotStart, from sim.Time) {
 			// HARQ: retransmit in the next UL opportunity (grant-free) or
 			// after a fresh SR (grant-based). A collision additionally backs
 			// off a random number of UL slots before the retry.
-			s.obs.Count(cHARQRetx, 1)
+			s.h.harqRetx.Inc()
 			s.obs.Edge(obs.Edge{Packet: p.id, Dir: obs.DirUL, Kind: obs.EdgeHARQRetx,
 				Time: onAirEnd, Arg: int64(p.attempts + 1)})
 			s.seg(p.bd, p.id, obs.DirUL, obs.LayerMAC, "HARQ retransmission", core.Protocol, ulStart, air)
@@ -342,7 +342,7 @@ func (s *System) gnbReceiveUL(at sim.Time, tb []byte, p *ulPacket) {
 		for _, pl := range payloads {
 			sdu, err := s.gnbRLCRx.Receive(pl)
 			if err != nil {
-				s.obs.Count(cRLCRxDrops, 1)
+				s.h.rlcRxDrops.Inc()
 				continue
 			}
 			if sdu == nil {
@@ -380,10 +380,10 @@ func (s *System) finishUL(p *ulPacket, at sim.Time, ok bool) {
 	s.done[p.id] = true
 	lat := at.Sub(p.offered)
 	if ok {
-		s.obs.Count(cDelivered, 1)
-		s.obs.Observe(tLatUL, lat)
+		s.h.delivered.Inc()
+		s.h.latUL.Observe(lat)
 	} else {
-		s.obs.Count(cLost, 1)
+		s.h.lost.Inc()
 	}
 	s.results = append(s.results, Result{
 		ID: p.id, Uplink: true, Delivered: ok,

@@ -183,11 +183,15 @@ func (d *DirStats) BudgetTotal() sim.Duration {
 	return t
 }
 
-// Audit is a deadline-budget audit of one trace.
+// Audit is a deadline-budget audit of one trace. SampleRate is the trace's
+// effective packet sample rate (1 = unsampled): span-derived tables describe
+// that share of the population, while outcome-derived counts and tail
+// quantiles are exact at every rate (outcomes are never sampled).
 type Audit struct {
-	Label    string
-	Deadline sim.Duration
-	Journeys []*Journey
+	Label      string
+	Deadline   sim.Duration
+	SampleRate float64
+	Journeys   []*Journey
 	// Dirs holds per-direction stats for directions present in the trace,
 	// UL first.
 	Dirs []*DirStats
@@ -208,7 +212,7 @@ func (a *Audit) Dir(d obs.Dir) *DirStats {
 // journey's dominant latency source, and per-direction budget tables and
 // tail histograms are built.
 func Run(tr *Trace, label string, deadline sim.Duration) *Audit {
-	a := &Audit{Label: label, Deadline: deadline, Journeys: Journeys(tr)}
+	a := &Audit{Label: label, Deadline: deadline, SampleRate: tr.EffectiveSampleRate(), Journeys: Journeys(tr)}
 	get := func(dir obs.Dir) *DirStats {
 		for _, s := range a.Dirs {
 			if s.Dir == dir {
@@ -272,7 +276,17 @@ func Run(tr *Trace, label string, deadline sim.Duration) *Audit {
 // FromRecorder builds a Trace directly from a live recorder — the in-process
 // path (cmd/urllc-trace, tests) that skips JSONL serialisation.
 func FromRecorder(rec *obs.Recorder) *Trace {
-	return &Trace{Spans: rec.Spans(), Outcomes: rec.Outcomes(), Events: rec.Events()}
+	return &Trace{Spans: rec.Spans(), Outcomes: rec.Outcomes(), Events: rec.Events(),
+		SampleRate: rec.SampleRate()}
+}
+
+// EffectiveSampleRate returns the trace's packet sample rate, treating the
+// zero value (hand-built traces, pre-sampling files) as unsampled.
+func (tr *Trace) EffectiveSampleRate() float64 {
+	if tr.SampleRate <= 0 || tr.SampleRate >= 1 {
+		return 1
+	}
+	return tr.SampleRate
 }
 
 // MergeTraces concatenates shard traces into one, renumbering packet ids so
@@ -283,11 +297,16 @@ func FromRecorder(rec *obs.Recorder) *Trace {
 // matter how the shards were produced (see internal/sweep); nil shards are
 // skipped.
 func MergeTraces(shards ...*Trace) *Trace {
-	out := &Trace{}
+	out := &Trace{SampleRate: 1}
 	base := 0
 	for _, tr := range shards {
 		if tr == nil {
 			continue
+		}
+		// Sweep shards share one sample rate by construction; the merged
+		// trace carries it so downstream reports state it.
+		if r := tr.EffectiveSampleRate(); r < 1 {
+			out.SampleRate = r
 		}
 		next := base
 		renumber := func(packet int) int {

@@ -13,11 +13,16 @@ import (
 )
 
 // Trace is the re-ingested form of a JSONL export: the same spans, outcomes
-// and events the recorder held when obs.WriteJSONL ran.
+// and events the recorder held when obs.WriteJSONL ran. SampleRate is the
+// writer's effective packet sample rate (1 when the trace carried none —
+// unsampled, the full population); reports surface it so sampled span
+// populations are never read as complete ones. Outcomes are exact at every
+// rate — the recorder never samples them.
 type Trace struct {
-	Spans    []obs.Span
-	Outcomes []obs.Outcome
-	Events   []obs.Event
+	Spans      []obs.Span
+	Outcomes   []obs.Outcome
+	Events     []obs.Event
+	SampleRate float64
 }
 
 // jsonLine is the union of every JSONL record kind; Kind dispatches.
@@ -25,7 +30,8 @@ type jsonLine struct {
 	Kind string `json:"kind"`
 
 	// meta
-	Schema string `json:"schema"`
+	Schema     string  `json:"schema"`
+	SampleRate float64 `json:"sample_rate"`
 
 	// span + event + outcome
 	Packet int    `json:"packet"`
@@ -65,7 +71,7 @@ func usToNs(us float64) int64 { return int64(math.Round(us * 1000)) }
 // reconstructs the recorder's state losslessly — span and outcome times are
 // exact to the nanosecond.
 func ReadJSONL(r io.Reader) (*Trace, error) {
-	tr := &Trace{}
+	tr := &Trace{SampleRate: 1}
 	sc := bufio.NewScanner(r)
 	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
 	lineNo := 0
@@ -98,6 +104,9 @@ func ReadJSONL(r io.Reader) (*Trace, error) {
 			if jl.Schema != obs.TraceSchema {
 				return nil, fmt.Errorf("analyze: line %d: unsupported trace schema %q (this reader speaks %q)",
 					lineNo, jl.Schema, obs.TraceSchema)
+			}
+			if jl.SampleRate > 0 && jl.SampleRate < 1 {
+				tr.SampleRate = jl.SampleRate
 			}
 		case "span":
 			dir, ok := obs.ParseDir(jl.Dir)

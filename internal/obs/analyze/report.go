@@ -36,6 +36,9 @@ func WriteMarkdown(w io.Writer, audits []*Audit) error {
 	for _, a := range audits {
 		fmt.Fprintf(bw, "\n## %s\n\n", a.Label)
 		fmt.Fprintf(bw, "One-way deadline: %.2f µs. Packets: %d.\n", us(a.Deadline), len(a.Journeys))
+		if a.SampleRate > 0 && a.SampleRate < 1 {
+			fmt.Fprintf(bw, "Effective span sample rate: %g (packet spans describe that share of the population; outcome counts and tail quantiles are exact).\n", a.SampleRate)
+		}
 
 		fmt.Fprintf(bw, "\n### Feasibility (Fig. 4-style)\n\n")
 		fmt.Fprint(bw, "| dir | n | delivered | lost | retx |")

@@ -14,10 +14,50 @@ import (
 // report is never silently zero-filled from a format it cannot parse.
 const TraceSchema = "urllcsim-trace/v1"
 
-// jsonMeta is the first line of a JSONL trace: its schema version.
+// jsonMeta is the first line of a JSONL trace: its schema version and, when
+// the recorder sampled its packet stream, the effective sample rate — readers
+// surface it so a sampled trace is never mistaken for the full population.
+// Unsampled traces omit the field and stay byte-identical to pre-sampling
+// writers.
 type jsonMeta struct {
-	Kind   string `json:"kind"` // "meta"
-	Schema string `json:"schema"`
+	Kind       string  `json:"kind"` // "meta"
+	Schema     string  `json:"schema"`
+	SampleRate float64 `json:"sample_rate,omitempty"`
+}
+
+// traceMeta builds the meta line for recorder r: sample rate present only
+// when sampling is actually on.
+func traceMeta(r *Recorder) jsonMeta {
+	m := jsonMeta{Kind: "meta", Schema: TraceSchema}
+	if sr := r.SampleRate(); sr < 1 {
+		m.SampleRate = sr
+	}
+	return m
+}
+
+// wireSpan / wireOutcome / wireEvent build the JSONL wire forms, shared by
+// the batch and streaming writers so the two cannot drift.
+func wireSpan(s *Span) jsonSpan {
+	return jsonSpan{
+		Kind: "span", Packet: s.Packet, Dir: s.Dir.String(),
+		Layer: s.Layer.String(), Step: s.Step, Source: s.Source.String(),
+		StartUs: s.Start.Micros(), DurUs: float64(s.Dur) / 1000,
+	}
+}
+
+func wireOutcome(o *Outcome) jsonOutcome {
+	return jsonOutcome{
+		Kind: "outcome", Packet: o.Packet, UE: o.UE, Dir: o.Dir.String(),
+		Delivered: o.Delivered, LatencyUs: float64(o.Latency) / 1000,
+		Attempts: o.Attempts, EndUs: o.End.Micros(),
+	}
+}
+
+func wireEvent(e *Event) jsonEvent {
+	return jsonEvent{
+		Kind: "event", TimeUs: e.Time.Micros(), Name: e.Name,
+		Layer: e.Layer.String(), Packet: e.Packet,
+	}
 }
 
 // jsonSpan is the JSONL wire form of a Span. Times are µs floats, the
@@ -62,39 +102,91 @@ type jsonOutcome struct {
 func WriteJSONL(w io.Writer, r *Recorder) error {
 	bw := bufio.NewWriter(w)
 	enc := json.NewEncoder(bw)
-	if err := enc.Encode(jsonMeta{Kind: "meta", Schema: TraceSchema}); err != nil {
+	if err := enc.Encode(traceMeta(r)); err != nil {
 		return err
 	}
-	for _, s := range r.Spans() {
-		js := jsonSpan{
-			Kind: "span", Packet: s.Packet, Dir: s.Dir.String(),
-			Layer: s.Layer.String(), Step: s.Step, Source: s.Source.String(),
-			StartUs: s.Start.Micros(), DurUs: float64(s.Dur) / 1000,
-		}
-		if err := enc.Encode(js); err != nil {
+	for i := range r.Spans() {
+		if err := enc.Encode(wireSpan(&r.Spans()[i])); err != nil {
 			return err
 		}
 	}
-	for _, o := range r.Outcomes() {
-		jo := jsonOutcome{
-			Kind: "outcome", Packet: o.Packet, UE: o.UE, Dir: o.Dir.String(),
-			Delivered: o.Delivered, LatencyUs: float64(o.Latency) / 1000,
-			Attempts: o.Attempts, EndUs: o.End.Micros(),
-		}
-		if err := enc.Encode(jo); err != nil {
+	for i := range r.Outcomes() {
+		if err := enc.Encode(wireOutcome(&r.Outcomes()[i])); err != nil {
 			return err
 		}
 	}
-	for _, e := range r.Events() {
-		je := jsonEvent{
-			Kind: "event", TimeUs: e.Time.Micros(), Name: e.Name,
-			Layer: e.Layer.String(), Packet: e.Packet,
-		}
-		if err := enc.Encode(je); err != nil {
+	for i := range r.Events() {
+		if err := enc.Encode(wireEvent(&r.Events()[i])); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// JSONLStream is the streaming sibling of WriteJSONL: it mounts itself as
+// the recorder's span spill, so spans are written to w during the run while
+// the recorder's span log stays bounded at the spill capacity. Close writes
+// the unspilled span tail, then outcomes and events — the finished stream is
+// byte-identical to WriteJSONL on a recorder that retained everything.
+type JSONLStream struct {
+	r   *Recorder
+	bw  *bufio.Writer
+	enc *json.Encoder
+	err error
+}
+
+// StreamJSONL starts a streaming JSONL export of r into w, bounding the
+// retained span log at capSpans records. The caller must Close the stream
+// after the run to complete the file and unmount the spill.
+func StreamJSONL(w io.Writer, r *Recorder, capSpans int) (*JSONLStream, error) {
+	st := &JSONLStream{r: r, bw: bufio.NewWriter(w)}
+	st.enc = json.NewEncoder(st.bw)
+	if err := st.enc.Encode(traceMeta(r)); err != nil {
+		return nil, err
+	}
+	r.SpillSpans(capSpans, st.spillSpans)
+	return st, nil
+}
+
+// spillSpans is the recorder's spill callback: the batch aliases storage the
+// recorder recycles right after, so it is fully encoded before returning.
+func (st *JSONLStream) spillSpans(spans []Span) {
+	if st.err != nil {
+		return
+	}
+	for i := range spans {
+		if err := st.enc.Encode(wireSpan(&spans[i])); err != nil {
+			st.err = err
+			return
+		}
+	}
+}
+
+// Close unmounts the spill and writes the remaining records. Returns the
+// first error seen anywhere in the stream.
+func (st *JSONLStream) Close() error {
+	st.spillSpans(st.r.Spans())
+	st.r.SpillSpans(0, nil)
+	if st.err == nil {
+		for i := range st.r.Outcomes() {
+			if err := st.enc.Encode(wireOutcome(&st.r.Outcomes()[i])); err != nil {
+				st.err = err
+				break
+			}
+		}
+	}
+	if st.err == nil {
+		for i := range st.r.Events() {
+			if err := st.enc.Encode(wireEvent(&st.r.Events()[i])); err != nil {
+				st.err = err
+				break
+			}
+		}
+	}
+	if st.err != nil {
+		return st.err
+	}
+	return st.bw.Flush()
 }
 
 // chromeEvent is one entry of the Chrome trace-event format, loadable in

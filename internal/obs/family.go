@@ -3,6 +3,7 @@ package obs
 import (
 	"fmt"
 	"strconv"
+	"time"
 
 	"urllcsim/internal/metrics"
 	"urllcsim/internal/sim"
@@ -115,6 +116,11 @@ type Family interface {
 	// registries that have not seen this family yet.
 	mergeFamily(o Family)
 	emptyLike() Family
+	// resetFamily zeroes every row in place, keeping keys, order and row
+	// storage — the family half of Registry.Reset. storageBytes measures
+	// the rows' retained storage for the observer-tax footprint.
+	resetFamily()
+	storageBytes() int64
 }
 
 // CounterFamily is a set of counters keyed by K.
@@ -159,6 +165,14 @@ func (f *CounterFamily[K]) mergeFamily(o Family) {
 
 func (f *CounterFamily[K]) emptyLike() Family { return newCounterFamily[K](f.name) }
 
+func (f *CounterFamily[K]) resetFamily() {
+	for _, c := range f.vals {
+		c.v = 0
+	}
+}
+
+func (f *CounterFamily[K]) storageBytes() int64 { return int64(len(f.order)) * 24 }
+
 // GaugeFamily is a set of last-value-wins gauges keyed by K.
 type GaugeFamily[K LabelSet] struct {
 	name  string
@@ -200,6 +214,14 @@ func (f *GaugeFamily[K]) mergeFamily(o Family) {
 }
 
 func (f *GaugeFamily[K]) emptyLike() Family { return newGaugeFamily[K](f.name) }
+
+func (f *GaugeFamily[K]) resetFamily() {
+	for _, g := range f.vals {
+		g.v = 0
+	}
+}
+
+func (f *GaugeFamily[K]) storageBytes() int64 { return int64(len(f.order)) * 24 }
 
 // HistFamily is a set of HDR-style log histograms keyed by K — per-label
 // latency distributions resolving the reliability tail in O(buckets) memory,
@@ -244,6 +266,20 @@ func (f *HistFamily[K]) mergeFamily(o Family) {
 }
 
 func (f *HistFamily[K]) emptyLike() Family { return newHistFamily[K](f.name) }
+
+func (f *HistFamily[K]) resetFamily() {
+	for _, h := range f.vals {
+		h.Reset()
+	}
+}
+
+func (f *HistFamily[K]) storageBytes() int64 {
+	var b int64
+	for _, h := range f.vals {
+		b += h.StorageBytes()
+	}
+	return b
+}
 
 // mustSameFamily asserts two same-named families share a concrete type. A
 // family name binds its kind AND key type; reusing a name with a different
@@ -301,6 +337,9 @@ func CountIn[K LabelSet](r *Recorder, name string, k K, delta int64) {
 	if r == nil {
 		return
 	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
+	}
 	if r.live != nil {
 		r.live.Lock()
 		CounterFam[K](r.reg, name).At(k).Add(delta)
@@ -314,6 +353,9 @@ func CountIn[K LabelSet](r *Recorder, name string, k K, delta int64) {
 func GaugeIn[K LabelSet](r *Recorder, name string, k K, v float64) {
 	if r == nil {
 		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
 	}
 	if r.live != nil {
 		r.live.Lock()
@@ -329,6 +371,9 @@ func GaugeIn[K LabelSet](r *Recorder, name string, k K, v float64) {
 func ObserveIn[K LabelSet](r *Recorder, name string, k K, d sim.Duration) {
 	if r == nil {
 		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
 	}
 	if r.live != nil {
 		r.live.Lock()

@@ -1,0 +1,247 @@
+package obs
+
+import (
+	"time"
+
+	"urllcsim/internal/sim"
+)
+
+// Metric handles: the batched form of Count/SetGauge/Observe for hot paths.
+//
+// The name-keyed helpers pay a map lookup per record; a handle resolves the
+// instrument once and reuses the pointer, so a per-slot or per-packet call
+// site costs an increment plus the usual nil/live/meter branches. Resolution
+// is *lazy* — the instrument registers on first use, not at handle creation —
+// so converting a call site to a handle cannot change registration order,
+// summary layout or snapshot columns: byte-identical output to the name-keyed
+// form is guaranteed by construction (first use happens at exactly the call
+// site that used to register the name).
+//
+// A handle created from a nil recorder is the disabled state, like the
+// recorder itself: every method returns after one comparison. Handles are
+// owned by the single simulation thread; the live-serve mutex discipline of
+// the named methods carries over unchanged.
+
+// CounterHandle is a pre-resolved counter. Create with Recorder.CounterH.
+type CounterHandle struct {
+	r    *Recorder
+	c    *Counter
+	name string
+}
+
+// CounterH returns a lazy handle on the named counter. Nil-safe.
+func (r *Recorder) CounterH(name string) CounterHandle {
+	return CounterHandle{r: r, name: name}
+}
+
+// Add adds delta to the counter, registering it on first use.
+func (h *CounterHandle) Add(delta int64) {
+	r := h.r
+	if r == nil {
+		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
+	}
+	if r.live != nil {
+		r.live.Lock()
+		if h.c == nil {
+			h.c = r.reg.Counter(h.name)
+		}
+		h.c.Add(delta)
+		r.live.Unlock()
+		return
+	}
+	if h.c == nil {
+		h.c = r.reg.Counter(h.name)
+	}
+	h.c.Add(delta)
+}
+
+// Inc adds one.
+func (h *CounterHandle) Inc() { h.Add(1) }
+
+// GaugeHandle is a pre-resolved gauge. Create with Recorder.GaugeH.
+type GaugeHandle struct {
+	r    *Recorder
+	g    *Gauge
+	name string
+}
+
+// GaugeH returns a lazy handle on the named gauge. Nil-safe.
+func (r *Recorder) GaugeH(name string) GaugeHandle {
+	return GaugeHandle{r: r, name: name}
+}
+
+// Set stores v, registering the gauge on first use.
+func (h *GaugeHandle) Set(v float64) {
+	r := h.r
+	if r == nil {
+		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
+	}
+	if r.live != nil {
+		r.live.Lock()
+		if h.g == nil {
+			h.g = r.reg.Gauge(h.name)
+		}
+		h.g.Set(v)
+		r.live.Unlock()
+		return
+	}
+	if h.g == nil {
+		h.g = r.reg.Gauge(h.name)
+	}
+	h.g.Set(v)
+}
+
+// TimingHandle is a pre-resolved timing. Create with Recorder.TimingH.
+type TimingHandle struct {
+	r    *Recorder
+	t    *Timing
+	name string
+}
+
+// TimingH returns a lazy handle on the named timing. Nil-safe.
+func (r *Recorder) TimingH(name string) TimingHandle {
+	return TimingHandle{r: r, name: name}
+}
+
+// Observe records one duration, registering the timing on first use.
+func (h *TimingHandle) Observe(d sim.Duration) {
+	r := h.r
+	if r == nil {
+		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
+	}
+	if r.live != nil {
+		r.live.Lock()
+		if h.t == nil {
+			h.t = r.reg.Timing(h.name)
+		}
+		h.t.Observe(d)
+		r.live.Unlock()
+		return
+	}
+	if h.t == nil {
+		h.t = r.reg.Timing(h.name)
+	}
+	h.t.Observe(d)
+}
+
+// CounterFamHandle is a pre-resolved labeled counter family. Create with
+// CounterFamH (package-level: Go has no generic methods).
+type CounterFamHandle[K LabelSet] struct {
+	r    *Recorder
+	f    *CounterFamily[K]
+	name string
+}
+
+// CounterFamH returns a lazy handle on the named counter family. Nil-safe.
+func CounterFamH[K LabelSet](r *Recorder, name string) CounterFamHandle[K] {
+	return CounterFamHandle[K]{r: r, name: name}
+}
+
+// Add adds delta to the keyed counter, registering family and row on first
+// use.
+func (h *CounterFamHandle[K]) Add(k K, delta int64) {
+	r := h.r
+	if r == nil {
+		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
+	}
+	if r.live != nil {
+		r.live.Lock()
+		if h.f == nil {
+			h.f = CounterFam[K](r.reg, h.name)
+		}
+		h.f.At(k).Add(delta)
+		r.live.Unlock()
+		return
+	}
+	if h.f == nil {
+		h.f = CounterFam[K](r.reg, h.name)
+	}
+	h.f.At(k).Add(delta)
+}
+
+// GaugeFamHandle is a pre-resolved labeled gauge family. Create with
+// GaugeFamH.
+type GaugeFamHandle[K LabelSet] struct {
+	r    *Recorder
+	f    *GaugeFamily[K]
+	name string
+}
+
+// GaugeFamH returns a lazy handle on the named gauge family. Nil-safe.
+func GaugeFamH[K LabelSet](r *Recorder, name string) GaugeFamHandle[K] {
+	return GaugeFamHandle[K]{r: r, name: name}
+}
+
+// Set stores v in the keyed gauge, registering family and row on first use.
+func (h *GaugeFamHandle[K]) Set(k K, v float64) {
+	r := h.r
+	if r == nil {
+		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
+	}
+	if r.live != nil {
+		r.live.Lock()
+		if h.f == nil {
+			h.f = GaugeFam[K](r.reg, h.name)
+		}
+		h.f.At(k).Set(v)
+		r.live.Unlock()
+		return
+	}
+	if h.f == nil {
+		h.f = GaugeFam[K](r.reg, h.name)
+	}
+	h.f.At(k).Set(v)
+}
+
+// HistFamHandle is a pre-resolved labeled histogram family. Create with
+// HistFamH.
+type HistFamHandle[K LabelSet] struct {
+	r    *Recorder
+	f    *HistFamily[K]
+	name string
+}
+
+// HistFamH returns a lazy handle on the named histogram family. Nil-safe.
+func HistFamH[K LabelSet](r *Recorder, name string) HistFamHandle[K] {
+	return HistFamHandle[K]{r: r, name: name}
+}
+
+// Observe records d into the keyed histogram, registering family and row on
+// first use.
+func (h *HistFamHandle[K]) Observe(k K, d sim.Duration) {
+	r := h.r
+	if r == nil {
+		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
+	}
+	if r.live != nil {
+		r.live.Lock()
+		if h.f == nil {
+			h.f = HistFam[K](r.reg, h.name)
+		}
+		h.f.At(k).AddDuration(d)
+		r.live.Unlock()
+		return
+	}
+	if h.f == nil {
+		h.f = HistFam[K](r.reg, h.name)
+	}
+	h.f.At(k).AddDuration(d)
+}

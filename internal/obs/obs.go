@@ -20,6 +20,7 @@ package obs
 
 import (
 	"sync"
+	"time"
 
 	"urllcsim/internal/core"
 	"urllcsim/internal/sim"
@@ -278,11 +279,61 @@ type Recorder struct {
 	// one bool comparison per tick.
 	slotLedger bool
 	slots      []SlotRecord
+
+	// sampler gates span/packet-event *retention* by packet identity (see
+	// sample.go). Off by default; outcomes and the tap stream are never
+	// sampled.
+	sampler samplerState
+
+	// spillCap/spill bound the retained span log: when the log reaches
+	// spillCap records it is handed to spill and the storage recycled (see
+	// SpillSpans). Zero spillCap keeps the log unbounded.
+	spillCap int
+	spill    func([]Span)
+
+	// meter, when non-nil, measures the wall cost and record volume of
+	// every recording method — the observer-tax self-accounting consumed by
+	// internal/obs/prof (see meter.go). One pointer comparison when off.
+	meter *meter
 }
 
 // NewRecorder returns an enabled recorder with a fresh metrics registry.
 func NewRecorder() *Recorder {
 	return &Recorder{reg: NewRegistry()}
+}
+
+// Reset empties the recorder in place while keeping every piece of storage
+// it has grown — span/event/outcome slabs, histogram bucket arrays, sample
+// reservoirs, the snapshot arena, instrument registrations and family rows.
+// A reset recorder re-observing the same workload behaves byte-identically
+// to a fresh one and allocates nothing once its storage has warmed up: the
+// steady-state contract pinned by the ObsEnabledSteady benchmark, and the
+// reuse pattern for benchmark loops and repeated-scenario services.
+//
+// Reset invalidates everything previously returned by Spans, Outcomes,
+// Events, Slots and Snapshots: those slices alias the recycled storage.
+// Debug builds (-tags obsdebug) poison the recycled records so a retainer
+// fails loudly; see poison_debug.go. Instruments and family rows keep their
+// registrations (at value zero), so Reset is intended for re-running the
+// same scenario — a different workload should use a fresh recorder.
+func (r *Recorder) Reset() {
+	if r == nil {
+		return
+	}
+	r.withLive(func() {
+		poisonSpans(r.spans)
+		poisonEvents(r.events)
+		poisonOutcomes(r.outcomes)
+		poisonSlots(r.slots)
+		r.spans = r.spans[:0]
+		r.events = r.events[:0]
+		r.outcomes = r.outcomes[:0]
+		r.slots = r.slots[:0]
+		r.reg.Reset()
+		if r.meter != nil {
+			*r.meter = meter{}
+		}
+	})
 }
 
 // SetTap mounts a streaming consumer for spans, outcomes and edges. Pass a
@@ -312,13 +363,19 @@ func (r *Recorder) SetRetention(spans, outcomes bool) {
 func (r *Recorder) Enabled() bool { return r != nil }
 
 // CaptureEngineEvents toggles mirroring of every fired engine event into the
-// event log (high volume; off by default).
+// event log (high volume; off by default). The node layer mounts the
+// recorder as the engine's sink only when this was enabled before the
+// system was built — every fired event pays the sink dispatch, so it is
+// not installed just in case.
 func (r *Recorder) CaptureEngineEvents(on bool) {
 	if r == nil {
 		return
 	}
 	r.captureEngine = on
 }
+
+// EngineEventsEnabled reports whether CaptureEngineEvents(true) was called.
+func (r *Recorder) EngineEventsEnabled() bool { return r != nil && r.captureEngine }
 
 // Metrics returns the recorder's registry (nil for a disabled recorder).
 func (r *Recorder) Metrics() *Registry {
@@ -328,16 +385,20 @@ func (r *Recorder) Metrics() *Registry {
 	return r.reg
 }
 
-// Span records one packet-journey span.
+// Span records one packet-journey span. The tap sees every span; retention
+// is subject to SetRetention and the sampler (see sample.go).
 func (r *Recorder) Span(s Span) {
 	if r == nil {
 		return
 	}
+	if r.meter != nil {
+		defer r.meter.add(meterSpan, time.Now())
+	}
 	if r.tap != nil {
 		r.tap.TapSpan(s)
 	}
-	if !r.discardSpans {
-		r.spans = append(r.spans, s)
+	if !r.discardSpans && r.keepPacket(s.Packet) {
+		r.retainSpan(s)
 	}
 }
 
@@ -347,6 +408,9 @@ func (r *Recorder) PacketSpan(packet int, dir Dir, layer Layer, step string,
 	if r == nil {
 		return
 	}
+	if r.meter != nil {
+		defer r.meter.add(meterSpan, time.Now())
+	}
 	s := Span{
 		Packet: packet, Dir: dir, Layer: layer, Step: step,
 		Source: src, Start: start, Dur: dur,
@@ -354,9 +418,40 @@ func (r *Recorder) PacketSpan(packet int, dir Dir, layer Layer, step string,
 	if r.tap != nil {
 		r.tap.TapSpan(s)
 	}
-	if !r.discardSpans {
-		r.spans = append(r.spans, s)
+	if !r.discardSpans && r.keepPacket(packet) {
+		r.retainSpan(s)
 	}
+}
+
+// retainSpan appends to the span log and, with a spill mounted, hands off a
+// full batch and recycles the storage in place.
+func (r *Recorder) retainSpan(s Span) {
+	r.spans = append(r.spans, s)
+	if r.spillCap > 0 && len(r.spans) >= r.spillCap {
+		r.spill(r.spans)
+		poisonSpans(r.spans)
+		r.spans = r.spans[:0]
+	}
+}
+
+// SpillSpans bounds the retained span log at capSpans records: each time the
+// log fills, the whole batch is handed to spill (in recording order) and the
+// slab is recycled for the next batch, so span memory stays O(capSpans)
+// regardless of run length — the streaming half of the pooled pipeline,
+// which StreamJSONL mounts to write span records during the run. The spill
+// consumer must fully process the batch before returning: the slice aliases
+// storage the recorder overwrites immediately after (debug builds poison it —
+// see poison_debug.go). Spans() afterwards returns only the unspilled tail.
+// Pass capSpans ≤ 0 to unmount.
+func (r *Recorder) SpillSpans(capSpans int, spill func([]Span)) {
+	if r == nil {
+		return
+	}
+	if capSpans <= 0 || spill == nil {
+		r.spillCap, r.spill = 0, nil
+		return
+	}
+	r.spillCap, r.spill = capSpans, spill
 }
 
 // Edge records one causal transition. Edges are never retained by the
@@ -369,9 +464,16 @@ func (r *Recorder) Edge(e Edge) {
 	r.tap.TapEdge(e)
 }
 
-// Mark records an instantaneous event.
+// Mark records an instantaneous event. Packet-scoped events (packet ≥ 0)
+// are subject to the sampler; system events are always kept.
 func (r *Recorder) Mark(t sim.Time, layer Layer, name string, packet int) {
 	if r == nil {
+		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterEvent, time.Now())
+	}
+	if !r.keepPacket(packet) {
 		return
 	}
 	r.events = append(r.events, Event{Time: t, Name: name, Layer: layer, Packet: packet})
@@ -416,6 +518,9 @@ func (r *Recorder) Count(name string, delta int64) {
 	if r == nil {
 		return
 	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
+	}
 	if r.live != nil {
 		r.live.Lock()
 		r.reg.Counter(name).Add(delta)
@@ -429,6 +534,9 @@ func (r *Recorder) Count(name string, delta int64) {
 func (r *Recorder) SetGauge(name string, v float64) {
 	if r == nil {
 		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
 	}
 	if r.live != nil {
 		r.live.Lock()
@@ -444,6 +552,9 @@ func (r *Recorder) SetGauge(name string, v float64) {
 func (r *Recorder) Observe(name string, d sim.Duration) {
 	if r == nil {
 		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterMetric, time.Now())
 	}
 	if r.live != nil {
 		r.live.Lock()
@@ -461,6 +572,9 @@ func (r *Recorder) SlotSnapshot(t sim.Time) {
 	if r == nil {
 		return
 	}
+	if r.meter != nil {
+		defer r.meter.add(meterSnapshot, time.Now())
+	}
 	if r.live != nil {
 		r.live.Lock()
 		r.reg.Snapshot(t)
@@ -470,10 +584,15 @@ func (r *Recorder) SlotSnapshot(t sim.Time) {
 	r.reg.Snapshot(t)
 }
 
-// Outcome records the resolution of one packet.
+// Outcome records the resolution of one packet. Outcomes are never sampled:
+// the deadline audit derives its counts and tail percentiles from them, and
+// those must stay exact at any span sample rate.
 func (r *Recorder) Outcome(o Outcome) {
 	if r == nil {
 		return
+	}
+	if r.meter != nil {
+		defer r.meter.add(meterOutcome, time.Now())
 	}
 	if r.tap != nil {
 		r.tap.TapOutcome(o)

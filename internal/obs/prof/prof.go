@@ -34,8 +34,9 @@ import (
 // breaking field change. v2: heap pops count fired events only (the timing
 // wheel excises cancelled events instead of lazily discarding them, so the
 // old pops-include-dead-discards reading is gone) and cancels are reported
-// as their own counter.
-const ReportSchema = "urllcsim-profile/v2"
+// as their own counter. v3: reports gain the measured observer-tax section
+// ("obs") when the profiled run metered its recorder via MeterObs.
+const ReportSchema = "urllcsim-profile/v3"
 
 // typeStat accumulates one event type's attribution.
 type typeStat struct {
@@ -70,6 +71,10 @@ type Profiler struct {
 	startCancels uint64
 	m0           runtime.MemStats
 
+	// obsRec, when set by MeterObs, is the metered recorder whose measured
+	// self-cost Finish folds into the report's observer-tax section.
+	obsRec *obs.Recorder
+
 	report *Report
 }
 
@@ -96,6 +101,18 @@ func Attach(eng *sim.Engine) *Profiler {
 	runtime.ReadMemStats(&p.m0)
 	eng.Sink = p
 	return p
+}
+
+// MeterObs enables observer-tax metering on rec and arranges for Finish to
+// fold the recorder's measured self-cost — wall time inside recording
+// methods, records handled, retained storage bytes — into the report's "obs"
+// section. Nil-safe; call between Attach and the run.
+func (p *Profiler) MeterObs(rec *obs.Recorder) {
+	if rec == nil {
+		return
+	}
+	rec.EnableMeter()
+	p.obsRec = rec
 }
 
 // EngineEvent implements sim.EngineSink. It is called by the engine just
@@ -197,6 +214,18 @@ func (p *Profiler) Finish() *Report {
 		r.EventsPerSec = float64(events) / (float64(attributed) / 1e9)
 		r.SimWallRatio = float64(r.SimNs) / float64(attributed)
 	}
+	if mr := p.obsRec.MeterReport(); mr != nil {
+		tax := &ObsTax{
+			WallNs:        mr.WallNs,
+			Records:       mr.Records,
+			RetainedBytes: mr.RetainedBytes,
+			Categories:    mr.Categories,
+		}
+		if attributed > 0 {
+			tax.ShareOfWall = float64(tax.WallNs) / float64(attributed)
+		}
+		r.Obs = tax
+	}
 	p.report = r
 	return r
 }
@@ -224,6 +253,21 @@ type HeapStats struct {
 	MeanDepth float64 `json:"mean_depth"`
 }
 
+// ObsTax is the measured cost of observation itself: wall time spent inside
+// the recorder's recording methods (by category), records handled, the
+// recorder's retained storage, and that wall time as a share of the
+// event-loop's attributed wall. Unlike the per-event-type table — where the
+// observer's cost is smeared across whichever events happened to record —
+// this line is measured at the recording call sites, so "what does tracing
+// cost this run" has an explicit, first-class answer.
+type ObsTax struct {
+	WallNs        int64           `json:"wall_ns"`
+	Records       int64           `json:"records"`
+	RetainedBytes int64           `json:"retained_bytes"`
+	ShareOfWall   float64         `json:"share_of_wall"`
+	Categories    []obs.MeterStat `json:"categories,omitempty"`
+}
+
 // RuntimeStats are Go runtime deltas over the profiled window, from
 // runtime.ReadMemStats at attach and finish.
 type RuntimeStats struct {
@@ -248,6 +292,7 @@ type Report struct {
 	Types        []EventStat  `json:"event_types"`
 	Heap         HeapStats    `json:"heap"`
 	Runtime      RuntimeStats `json:"runtime"`
+	Obs          *ObsTax      `json:"obs,omitempty"`
 }
 
 // jsonProfile is the JSONL wire form: the Report tagged with the shared
@@ -289,6 +334,11 @@ func (r *Report) MarkdownTable() string {
 	fmt.Fprintf(&sb, "- runtime: %d allocs (%.1f KB), %d GCs, %.3f ms GC pause\n",
 		r.Runtime.Allocs, float64(r.Runtime.AllocBytes)/1024,
 		r.Runtime.NumGC, float64(r.Runtime.GCPauseNs)/1e6)
+	if r.Obs != nil {
+		fmt.Fprintf(&sb, "- observer tax: %.3f ms wall (%.1f%% of attributed) for %d records, %.1f KB retained\n",
+			float64(r.Obs.WallNs)/1e6, 100*r.Obs.ShareOfWall,
+			r.Obs.Records, float64(r.Obs.RetainedBytes)/1024)
+	}
 	return sb.String()
 }
 
@@ -314,4 +364,61 @@ func (r *Report) Publish(rec *obs.Recorder) {
 		rec.Count("prof.count."+s.Key, int64(s.Count))
 		rec.Count("prof.wall_ns."+s.Key, s.WallNs)
 	}
+	if r.Obs != nil {
+		rec.Count("prof.obs.records", r.Obs.Records)
+		rec.Count("prof.obs.wall_ns", r.Obs.WallNs)
+		rec.SetGauge("prof.obs.retained_bytes", float64(r.Obs.RetainedBytes))
+		rec.SetGauge("prof.obs.share_of_wall", r.Obs.ShareOfWall)
+		for _, c := range r.Obs.Categories {
+			rec.Count("prof.obs.wall_ns."+c.Category, c.WallNs)
+		}
+	}
+}
+
+// acceptedSchemas lists the profile-record versions this reader understands.
+// v2 files lack the observer-tax section but are otherwise identical, so
+// archived profiles stay readable.
+var acceptedSchemas = map[string]bool{
+	"urllcsim-profile/v2": true,
+	"urllcsim-profile/v3": true,
+}
+
+// ReadJSONL scans a JSONL stream and returns every "profile" record in file
+// order. Other record kinds (spans, outcomes, flight, slots, KPI …) are
+// skipped, so one mixed file feeds every reader; an unknown profile schema
+// version is an error, never a zero-filled report.
+func ReadJSONL(r io.Reader) ([]*Report, error) {
+	var out []*Report
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var head struct {
+			Kind string `json:"kind"`
+		}
+		if err := json.Unmarshal(line, &head); err != nil {
+			return nil, fmt.Errorf("prof: line %d: %w", lineNo, err)
+		}
+		if head.Kind != "profile" {
+			continue
+		}
+		var rep Report
+		if err := json.Unmarshal(line, &rep); err != nil {
+			return nil, fmt.Errorf("prof: line %d: %w", lineNo, err)
+		}
+		if !acceptedSchemas[rep.Schema] {
+			return nil, fmt.Errorf("prof: line %d: unsupported profile schema %q (this reader speaks %q)",
+				lineNo, rep.Schema, ReportSchema)
+		}
+		out = append(out, &rep)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("prof: %w", err)
+	}
+	return out, nil
 }

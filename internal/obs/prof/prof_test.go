@@ -193,3 +193,90 @@ func TestPublish(t *testing.T) {
 	// Publishing to a nil recorder must be a no-op, like every obs method.
 	r.Publish(nil)
 }
+
+// meterRun is toyRun with an obs recorder metered via MeterObs, so the
+// report carries the observer-tax section.
+func meterRun(t *testing.T) *Report {
+	t.Helper()
+	eng := sim.NewEngine()
+	p := Attach(eng)
+	rec := obs.NewRecorder()
+	p.MeterObs(rec)
+	for i := 0; i < 10; i++ {
+		i := i
+		eng.Schedule(sim.Time(i*1000), "tick", func() {
+			rec.Count("toy.ticks", 1)
+			rec.Observe("toy.lat", sim.Duration(i)*sim.Microsecond)
+			rec.PacketSpan(i, obs.DirUL, obs.LayerMAC, "tx", 0, eng.Now(), sim.Microsecond)
+		})
+	}
+	eng.RunAll()
+	return p.Finish()
+}
+
+func TestMeterObsTax(t *testing.T) {
+	r := meterRun(t)
+	if r.Obs == nil {
+		t.Fatal("metered run produced no obs tax section")
+	}
+	if r.Obs.Records != 30 {
+		t.Fatalf("obs tax counted %d records, want 30", r.Obs.Records)
+	}
+	if r.Obs.WallNs <= 0 || r.Obs.RetainedBytes <= 0 {
+		t.Fatalf("obs tax wall/retained not positive: %+v", r.Obs)
+	}
+	byCat := map[string]int64{}
+	for _, c := range r.Obs.Categories {
+		byCat[c.Category] = c.Records
+	}
+	if byCat["metric"] != 20 || byCat["span"] != 10 {
+		t.Fatalf("per-category records = %v, want metric:20 span:10", byCat)
+	}
+	if md := r.MarkdownTable(); !strings.Contains(md, "observer tax:") {
+		t.Fatalf("markdown table missing observer-tax line:\n%s", md)
+	}
+}
+
+func TestReadJSONL(t *testing.T) {
+	r1 := meterRun(t)
+	_, r2 := toyRun(t)
+	var buf bytes.Buffer
+	buf.WriteString(`{"kind":"meta","schema":"urllcsim-trace/v1"}` + "\n") // foreign kinds are skipped
+	if err := r1.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	buf.WriteString("\n") // blank lines are tolerated
+	if err := r2.WriteJSONL(&buf); err != nil {
+		t.Fatal(err)
+	}
+	reps, err := ReadJSONL(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 2 {
+		t.Fatalf("read %d profile records, want 2", len(reps))
+	}
+	if reps[0].Obs == nil || reps[0].Obs.Records != r1.Obs.Records {
+		t.Fatalf("first report lost its obs section: %+v", reps[0].Obs)
+	}
+	if reps[1].Obs != nil {
+		t.Fatalf("unmetered report grew an obs section: %+v", reps[1].Obs)
+	}
+	if reps[1].Events != r2.Events {
+		t.Fatalf("second report events = %d, want %d", reps[1].Events, r2.Events)
+	}
+}
+
+func TestReadJSONLAcceptsV2(t *testing.T) {
+	line := `{"kind":"profile","schema":"urllcsim-profile/v2","label":"old","events":7,"attributed_ns":100}`
+	reps, err := ReadJSONL(strings.NewReader(line))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reps) != 1 || reps[0].Events != 7 || reps[0].Obs != nil {
+		t.Fatalf("v2 record misread: %+v", reps[0])
+	}
+	if _, err := ReadJSONL(strings.NewReader(`{"kind":"profile","schema":"urllcsim-profile/v99"}`)); err == nil {
+		t.Fatal("unknown profile schema accepted")
+	}
+}

@@ -103,6 +103,13 @@ type Registry struct {
 	tIndex   map[string]*Timing
 	fIndex   map[string]Family
 	snaps    []Snapshot
+
+	// snapC/snapG are the snapshot arenas: per-snapshot value slices are
+	// carved out of these chunks instead of allocated individually, so the
+	// once-per-slot Snapshot call settles at zero allocations once a chunk
+	// covers the run (chunks double; Reset recycles the largest).
+	snapC []int64
+	snapG []float64
 }
 
 // NewRegistry returns an empty registry.
@@ -164,13 +171,12 @@ func (r *Registry) Timings() []*Timing { return r.timings }
 // Families returns all labeled families in registration order.
 func (r *Registry) Families() []Family { return r.families }
 
-// Snapshot records the current value of every counter and gauge at t.
+// Snapshot records the current value of every counter and gauge at t. The
+// value slices live in the registry's snapshot arena — see the Registry
+// fields — so a slot-aligned series costs O(log n) chunk allocations for a
+// whole run and none at all after a Reset warm-up.
 func (r *Registry) Snapshot(t sim.Time) {
-	s := Snapshot{
-		T:        t,
-		Counters: make([]int64, len(r.counters)),
-		Gauges:   make([]float64, len(r.gauges)),
-	}
+	s := Snapshot{T: t, Counters: r.carveC(len(r.counters)), Gauges: r.carveG(len(r.gauges))}
 	for i, c := range r.counters {
 		s.Counters[i] = c.v
 	}
@@ -180,8 +186,86 @@ func (r *Registry) Snapshot(t sim.Time) {
 	r.snaps = append(r.snaps, s)
 }
 
+// carveC hands out n int64s from the counter arena, growing it geometrically
+// when exhausted (superseded chunks stay referenced by the snapshots carved
+// from them and are dropped with them).
+func (r *Registry) carveC(n int) []int64 {
+	if len(r.snapC)+n > cap(r.snapC) {
+		c := 2 * cap(r.snapC)
+		if c < 1024 {
+			c = 1024
+		}
+		if c < n {
+			c = n
+		}
+		r.snapC = make([]int64, 0, c)
+	}
+	out := r.snapC[len(r.snapC) : len(r.snapC)+n : len(r.snapC)+n]
+	r.snapC = r.snapC[:len(r.snapC)+n]
+	return out
+}
+
+// carveG is carveC for the gauge arena.
+func (r *Registry) carveG(n int) []float64 {
+	if len(r.snapG)+n > cap(r.snapG) {
+		c := 2 * cap(r.snapG)
+		if c < 1024 {
+			c = 1024
+		}
+		if c < n {
+			c = n
+		}
+		r.snapG = make([]float64, 0, c)
+	}
+	out := r.snapG[len(r.snapG) : len(r.snapG)+n : len(r.snapG)+n]
+	r.snapG = r.snapG[:len(r.snapG)+n]
+	return out
+}
+
 // Snapshots returns the recorded snapshots in time order.
 func (r *Registry) Snapshots() []Snapshot { return r.snaps }
+
+// Reset zeroes every instrument in place and drops the snapshot series while
+// keeping all registrations, family rows, bucket arrays and arena capacity —
+// the registry half of Recorder.Reset. Previously returned Snapshots are
+// invalidated (their storage is recycled).
+func (r *Registry) Reset() {
+	for _, c := range r.counters {
+		c.v = 0
+	}
+	for _, g := range r.gauges {
+		g.v = 0
+	}
+	for _, t := range r.timings {
+		t.Acc.Reset()
+		t.Hist.Reset()
+		t.HDR.Reset()
+	}
+	for _, f := range r.families {
+		f.resetFamily()
+	}
+	r.snaps = r.snaps[:0]
+	r.snapC = r.snapC[:0]
+	r.snapG = r.snapG[:0]
+}
+
+// storageBytes measures the registry's retained storage — histogram buckets,
+// sample reservoirs and the snapshot arenas — for the recorder's observer-tax
+// footprint line (Recorder.RetainedBytes).
+func (r *Registry) storageBytes() int64 {
+	if r == nil {
+		return 0
+	}
+	b := int64(cap(r.snapC))*8 + int64(cap(r.snapG))*8
+	b += int64(cap(r.snaps)) * 40 // Snapshot header: T + two slice headers
+	for _, t := range r.timings {
+		b += t.Hist.StorageBytes() + t.HDR.StorageBytes()
+	}
+	for _, f := range r.families {
+		b += f.storageBytes()
+	}
+	return b
+}
 
 // Merge folds o into r, matching instruments by name: counters add, timings
 // merge their full distributions (exact HDR buckets, exact means,

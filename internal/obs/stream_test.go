@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestStreamJSONLMatchesWriteJSONL is the streaming pipeline's correctness
+// contract: spilling span batches to the writer during the run, then closing
+// (tail spans, outcomes, events), produces byte-for-byte the file WriteJSONL
+// writes from a fully-retained recorder — whatever the spill batch size.
+func TestStreamJSONLMatchesWriteJSONL(t *testing.T) {
+	retained := NewRecorder()
+	retained.EnableSlotLedger()
+	recordWorkload(retained)
+	var want strings.Builder
+	if err := WriteJSONL(&want, retained); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, capSpans := range []int{1, 7, 64, 4096} {
+		var got strings.Builder
+		rec := NewRecorder()
+		rec.EnableSlotLedger()
+		st, err := StreamJSONL(&got, rec, capSpans)
+		if err != nil {
+			t.Fatal(err)
+		}
+		recordWorkload(rec)
+		if err := st.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if got.String() != want.String() {
+			t.Fatalf("capSpans=%d: streamed output differs from WriteJSONL", capSpans)
+		}
+		if capSpans < 64 && len(rec.Spans()) >= 64*3 {
+			t.Fatalf("capSpans=%d: recorder retained all %d spans — spill never fired", capSpans, len(rec.Spans()))
+		}
+	}
+}
+
+// TestStreamJSONLSampled: the streamed file matches the retained file under
+// sampling too, and both carry the sample_rate meta field.
+func TestStreamJSONLSampled(t *testing.T) {
+	retained := NewRecorder()
+	retained.SetSampling(0.5, 5)
+	recordWorkload(retained)
+	var want strings.Builder
+	if err := WriteJSONL(&want, retained); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strings.SplitN(want.String(), "\n", 2)[0], `"sample_rate":0.5`) {
+		t.Fatalf("sampled meta line missing sample_rate: %q", strings.SplitN(want.String(), "\n", 2)[0])
+	}
+
+	var got strings.Builder
+	rec := NewRecorder()
+	rec.SetSampling(0.5, 5)
+	st, err := StreamJSONL(&got, rec, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recordWorkload(rec)
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got.String() != want.String() {
+		t.Fatal("sampled streamed output differs from WriteJSONL")
+	}
+}
+
+// TestUnsampledMetaHasNoRate: a recorder without sampling writes exactly the
+// meta line pre-sampling builds wrote — the field is omitted, keeping
+// unsampled trace files byte-identical across versions.
+func TestUnsampledMetaHasNoRate(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteJSONL(&sb, sampleRecorder()); err != nil {
+		t.Fatal(err)
+	}
+	meta := strings.SplitN(sb.String(), "\n", 2)[0]
+	if strings.Contains(meta, "sample_rate") {
+		t.Fatalf("unsampled meta line carries sample_rate: %q", meta)
+	}
+}

@@ -11,7 +11,7 @@ const (
 	SchemaTrace   = "urllcsim-trace/v1"   // obs.WriteJSONL span/outcome/event traces
 	SchemaFlight  = "urllcsim-flight/v1"  // tail-forensics flight records
 	SchemaAnomaly = "urllcsim-anomaly/v1" // watchdog anomaly events
-	SchemaProfile = "urllcsim-profile/v2" // engine self-profile records
+	SchemaProfile = "urllcsim-profile/v3" // engine self-profile records
 	SchemaBench   = "urllc-bench/v1"      // BENCH_*.json perf snapshots
 	SchemaSlots   = "urllcsim-slots/v1"   // per-slot occupancy ledger
 	SchemaKPI     = "urllcsim-kpi/v1"     // per-UE KPI / fairness / CCDF records

@@ -1,0 +1,100 @@
+package urllcsim_test
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"urllcsim"
+	"urllcsim/internal/obs"
+)
+
+// overheadRun is one fixed full-stack scenario (64 packets, DDDU/0.5ms/USB2)
+// driven against the given recorder; nil means observability disabled.
+func overheadRun(rec *obs.Recorder) error {
+	sc, err := urllcsim.NewScenario(urllcsim.ScenarioConfig{
+		Pattern: urllcsim.PatternDDDU, SlotScale: urllcsim.Slot0p5ms, Radio: urllcsim.RadioUSB2,
+		Seed: 1, Obs: rec,
+	})
+	if err != nil {
+		return err
+	}
+	const packets = 32
+	for i := 0; i < packets; i++ {
+		at := time.Duration(i) * 2 * time.Millisecond
+		sc.SendUplink(at+137*time.Microsecond, 32)
+		sc.SendDownlink(at+731*time.Microsecond, 32)
+	}
+	if rs := sc.Run((packets + 50) * 2 * time.Millisecond); len(rs) != 2*packets {
+		return fmt.Errorf("resolved %d results, want %d", len(rs), 2*packets)
+	}
+	return nil
+}
+
+// TestTracingOverheadInterleaved is the honest form of the overhead
+// measurement: disabled, enabled and sampled runs are interleaved round-robin
+// so clock drift, thermal state and GC pressure hit all three arms equally,
+// and the median is compared instead of a single timing. Sequential benchmark
+// groups on a loaded machine showed ~13% run-to-run variance on *identical*
+// code; the interleaved median is stable to a couple of percent.
+//
+// The assertion is deliberately loose — a tripwire for reintroducing a
+// per-event cost on the disabled or enabled path (the pre-optimisation tree
+// measured +35% here), not a micro-benchmark gate. The measured numbers go to
+// the test log; the README overhead table quotes them.
+func TestTracingOverheadInterleaved(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing measurement; skipped in -short")
+	}
+	recE := obs.NewRecorder()
+	recS := obs.NewRecorder()
+	recS.SetSampling(1.0/16, 1)
+	// Warm both recorders to steady state so the loop measures recycled
+	// slabs, not first-fill growth.
+	if err := overheadRun(recE); err != nil {
+		t.Fatal(err)
+	}
+	if err := overheadRun(recS); err != nil {
+		t.Fatal(err)
+	}
+	rounds := 120
+	if testing.Verbose() {
+		rounds = 400
+	}
+	var dT, eT, sT []float64
+	for i := 0; i < rounds; i++ {
+		t0 := time.Now()
+		if err := overheadRun(nil); err != nil {
+			t.Fatal(err)
+		}
+		t1 := time.Now()
+		recE.Reset()
+		if err := overheadRun(recE); err != nil {
+			t.Fatal(err)
+		}
+		t2 := time.Now()
+		recS.Reset()
+		if err := overheadRun(recS); err != nil {
+			t.Fatal(err)
+		}
+		t3 := time.Now()
+		dT = append(dT, t1.Sub(t0).Seconds())
+		eT = append(eT, t2.Sub(t1).Seconds())
+		sT = append(sT, t3.Sub(t2).Seconds())
+	}
+	med := func(v []float64) float64 {
+		s := append([]float64(nil), v...)
+		sort.Float64s(s)
+		return s[len(s)/2]
+	}
+	d, e, s := med(dT), med(eT), med(sT)
+	t.Logf("median per run: disabled %.0fµs, enabled %.0fµs (+%.1f%%), sampled 1/16 %.0fµs (+%.1f%%)",
+		d*1e6, e*1e6, (e/d-1)*100, s*1e6, (s/d-1)*100)
+	if e > d*1.5 {
+		t.Errorf("enabled tracing median %.0fµs is more than 1.5× the disabled median %.0fµs", e*1e6, d*1e6)
+	}
+	if s > e*1.1 {
+		t.Errorf("sampled median %.0fµs exceeds full-tracing median %.0fµs — sampling made tracing slower", s*1e6, e*1e6)
+	}
+}

@@ -101,7 +101,11 @@ func verifyPartition(t *testing.T, seed uint64, r PacketResult, spans []obs.Span
 // observability disabled (nil recorder — the default) against the same run
 // with a live recorder capturing spans, counters and slot snapshots. The
 // Disabled case must stay within noise of the pre-observability simulator:
-// the entire hot path is nil-receiver method calls.
+// the entire hot path is nil-receiver method calls. Enabled reuses one
+// recorder across ops via Reset — the pooled steady state a long sweep or
+// service sees, where span/outcome/event storage and every registry
+// instrument are already allocated. Sampled adds a 1/16 deterministic
+// head sample on top, the configuration `-sample-rate 0.0625` runs.
 func BenchmarkTracingOverhead(b *testing.B) {
 	run := func(b *testing.B, rec *obs.Recorder) {
 		sc, err := NewScenario(ScenarioConfig{
@@ -122,13 +126,30 @@ func BenchmarkTracingOverhead(b *testing.B) {
 		}
 	}
 	b.Run("Disabled", func(b *testing.B) {
+		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			run(b, nil)
 		}
 	})
 	b.Run("Enabled", func(b *testing.B) {
+		b.ReportAllocs()
+		rec := obs.NewRecorder()
+		run(b, rec) // warm: fill span/outcome capacity, register instruments
+		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			run(b, obs.NewRecorder())
+			rec.Reset()
+			run(b, rec)
+		}
+	})
+	b.Run("Sampled", func(b *testing.B) {
+		b.ReportAllocs()
+		rec := obs.NewRecorder()
+		rec.SetSampling(1.0/16, 1)
+		run(b, rec)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			rec.Reset()
+			run(b, rec)
 		}
 	})
 }

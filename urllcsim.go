@@ -166,11 +166,19 @@ type PacketResult struct {
 	Delivered bool
 	Latency   time.Duration
 	Attempts  int
-	// Journey is the Fig. 3-style breakdown table.
-	Journey string
 	// ProtocolShare…RadioShare split the journey across the paper's three
 	// latency sources (fractions of the accounted time).
 	ProtocolShare, ProcessingShare, RadioShare float64
+
+	bd core.Breakdown
+}
+
+// Journey renders the Fig. 3-style breakdown table. Formatting is deferred
+// to the call: a run that never prints journeys (sweeps, benchmarks, KPI
+// pipelines) pays nothing for them, which keeps the always-on tracing
+// overhead down to the record path itself.
+func (r *PacketResult) Journey() string {
+	return r.bd.String()
 }
 
 // Scenario is a configured, runnable system.
@@ -334,7 +342,7 @@ func (s *Scenario) Run(horizon time.Duration) []PacketResult {
 		pr := PacketResult{
 			ID: r.ID, Uplink: r.Uplink, Delivered: r.Delivered,
 			Latency: time.Duration(r.Latency), Attempts: r.Attempts,
-			Journey: r.Breakdown.String(),
+			bd: r.Breakdown,
 		}
 		if tot > 0 {
 			pr.ProtocolShare = float64(by[core.Protocol]) / tot

@@ -93,7 +93,7 @@ func TestScenarioEndToEnd(t *testing.T) {
 		if r.Latency <= 0 || r.Latency > 20*time.Millisecond {
 			t.Fatalf("packet %d latency %v implausible", r.ID, r.Latency)
 		}
-		if r.Journey == "" {
+		if r.Journey() == "" {
 			t.Fatal("empty journey")
 		}
 		sum := r.ProtocolShare + r.ProcessingShare + r.RadioShare
